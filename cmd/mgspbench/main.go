@@ -1,0 +1,117 @@
+// Command mgspbench regenerates the paper's tables and figures against the
+// simulated NVM substrate. It is the equivalent of the artifact's
+// evaluation/fio/scripts/run_all.sh plus the SQLite runs:
+//
+//	mgspbench -exp all -scale quick
+//	mgspbench -exp fig8,table2 -scale full
+//
+// Each experiment prints the rows/series of the corresponding figure or
+// table in the paper (throughput in MiB/s of virtual time, write
+// amplification ratios, transactions per second, tpmC, recovery time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mgsp/internal/bench"
+	"mgsp/internal/fio"
+	"mgsp/internal/sqlite"
+)
+
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "ext-atomic"}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick | full")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "quick":
+		sc = bench.Quick()
+	case "full":
+		sc = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range experiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	run := func(name string, fn func() ([]*bench.Table, error)) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		tables, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	one := func(t *bench.Table, err error) ([]*bench.Table, error) {
+		return []*bench.Table{t}, err
+	}
+
+	run("fig1", func() ([]*bench.Table, error) { return one(bench.Fig1(sc)) })
+	run("fig7", func() ([]*bench.Table, error) { return one(bench.Fig7(sc)) })
+	run("fig8", func() ([]*bench.Table, error) {
+		var out []*bench.Table
+		for _, op := range []fio.Op{fio.SeqWrite, fio.RandWrite, fio.SeqRead, fio.RandRead} {
+			t, err := bench.Fig8(sc, op)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	})
+	run("fig9", func() ([]*bench.Table, error) { return one(bench.Fig9(sc)) })
+	run("fig10", func() ([]*bench.Table, error) {
+		var out []*bench.Table
+		for _, bs := range []int{1024, 4096, 16 << 10} {
+			for _, op := range []fio.Op{fio.SeqWrite, fio.RandWrite} {
+				t, err := bench.Fig10(sc, bs, op)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	})
+	run("fig11", func() ([]*bench.Table, error) {
+		var out []*bench.Table
+		for _, mode := range []sqlite.JournalMode{sqlite.WAL, sqlite.Off} {
+			t, err := bench.Fig11(sc, mode)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	})
+	run("fig12", func() ([]*bench.Table, error) { return one(bench.Fig12(sc)) })
+	run("fig13", func() ([]*bench.Table, error) { return one(bench.Fig13(sc)) })
+	run("table2", func() ([]*bench.Table, error) { return one(bench.TableII(sc)) })
+	run("recovery", func() ([]*bench.Table, error) { return one(bench.Recovery(sc)) })
+	run("ext-atomic", func() ([]*bench.Table, error) { return one(bench.ExtAtomic(sc)) })
+}

@@ -1,0 +1,3 @@
+module mgsp
+
+go 1.22

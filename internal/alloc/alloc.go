@@ -1,0 +1,191 @@
+// Package alloc provides a block allocator for regions of the simulated NVM
+// device. Allocation state lives in DRAM and is rebuilt after a crash by each
+// file system's recovery scan (the approach NOVA takes: the kernel keeps the
+// free list volatile and reconstructs it from the persistent logs at mount).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"mgsp/internal/sim"
+)
+
+// ErrNoSpace is returned when the region cannot satisfy an allocation.
+var ErrNoSpace = errors.New("alloc: out of space")
+
+// Allocator hands out fixed-size blocks from a contiguous device region.
+// It is safe for concurrent use; each allocation charges the cost model's
+// BlockAlloc time to the caller.
+type Allocator struct {
+	mu        sim.Mutex
+	start     int64
+	blockSize int64
+	nblocks   int64
+	free      int64
+	hint      int64
+	bitmap    []uint64 // 1 = allocated
+	costs     *sim.Costs
+}
+
+// New creates an allocator over [start, start+size) with the given block
+// size. size is truncated to a whole number of blocks.
+func New(start, size, blockSize int64, costs *sim.Costs) *Allocator {
+	if blockSize <= 0 || start < 0 || size < blockSize {
+		panic(fmt.Sprintf("alloc: bad region start=%d size=%d bs=%d", start, size, blockSize))
+	}
+	n := size / blockSize
+	return &Allocator{
+		start:     start,
+		blockSize: blockSize,
+		nblocks:   n,
+		free:      n,
+		bitmap:    make([]uint64, (n+63)/64),
+		costs:     costs,
+	}
+}
+
+// BlockSize returns the allocation unit in bytes.
+func (a *Allocator) BlockSize() int64 { return a.blockSize }
+
+// FreeBlocks returns the number of unallocated blocks.
+func (a *Allocator) FreeBlocks() int64 {
+	return a.free // benign racy read; exact under the caller's own sync
+}
+
+// Alloc allocates one block and returns its device offset.
+func (a *Allocator) Alloc(ctx *sim.Ctx) (int64, error) {
+	return a.AllocContig(ctx, 1)
+}
+
+// AllocContig allocates n contiguous blocks and returns the device offset of
+// the first. It uses a next-fit scan from the last allocation point.
+func (a *Allocator) AllocContig(ctx *sim.Ctx, n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: bad count %d", n)
+	}
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	ctx.Advance(a.costs.BlockAlloc)
+	if a.free < n {
+		return 0, ErrNoSpace
+	}
+	if b, ok := a.scan(a.hint, a.nblocks, n); ok {
+		return a.take(b, n), nil
+	}
+	if b, ok := a.scan(0, a.hint, n); ok {
+		return a.take(b, n), nil
+	}
+	return 0, ErrNoSpace
+}
+
+// scan searches [lo, hi) for n consecutive free blocks.
+func (a *Allocator) scan(lo, hi, n int64) (int64, bool) {
+	run := int64(0)
+	runStart := int64(0)
+	for b := lo; b < hi; {
+		w := a.bitmap[b/64]
+		if w == ^uint64(0) && b%64 == 0 && b+64 <= hi {
+			run = 0
+			b += 64
+			continue
+		}
+		if a.test(b) {
+			run = 0
+		} else {
+			if run == 0 {
+				runStart = b
+			}
+			run++
+			if run == n {
+				return runStart, true
+			}
+		}
+		b++
+		// Fast-skip fully-allocated words when not in a run.
+		if run == 0 && b%64 == 0 {
+			for b+64 <= hi && a.bitmap[b/64] == ^uint64(0) {
+				b += 64
+			}
+		}
+	}
+	return 0, false
+}
+
+func (a *Allocator) take(b, n int64) int64 {
+	for i := b; i < b+n; i++ {
+		a.set(i)
+	}
+	a.free -= n
+	a.hint = b + n
+	if a.hint >= a.nblocks {
+		a.hint = 0
+	}
+	return a.start + b*a.blockSize
+}
+
+// Free releases n blocks starting at device offset off.
+func (a *Allocator) Free(ctx *sim.Ctx, off int64, n int64) {
+	b := a.blockOf(off)
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	for i := b; i < b+n; i++ {
+		if !a.test(i) {
+			panic(fmt.Sprintf("alloc: double free of block %d (off %d)", i, off))
+		}
+		a.clear(i)
+	}
+	a.free += n
+}
+
+// MarkAllocated records blocks as in use without charging time; recovery
+// scans use it to rebuild DRAM state from persistent metadata. Marking an
+// already-allocated block is an error (it indicates a recovery bug).
+func (a *Allocator) MarkAllocated(off, n int64) error {
+	b := a.blockOf(off)
+	for i := b; i < b+n; i++ {
+		if a.test(i) {
+			return fmt.Errorf("alloc: block %d already allocated during recovery", i)
+		}
+		a.set(i)
+	}
+	a.free -= n
+	return nil
+}
+
+// Reset frees every block (between benchmark phases).
+func (a *Allocator) Reset() {
+	for i := range a.bitmap {
+		a.bitmap[i] = 0
+	}
+	a.free = a.nblocks
+	a.hint = 0
+}
+
+// Allocated reports whether the block containing off is allocated.
+func (a *Allocator) Allocated(off int64) bool { return a.test(a.blockOf(off)) }
+
+// UsedBlocks returns the number of allocated blocks.
+func (a *Allocator) UsedBlocks() int64 {
+	var used int64
+	for _, w := range a.bitmap {
+		used += int64(bits.OnesCount64(w))
+	}
+	return used
+}
+
+func (a *Allocator) blockOf(off int64) int64 {
+	if off < a.start || (off-a.start)%a.blockSize != 0 {
+		panic(fmt.Sprintf("alloc: offset %d not a block boundary (start %d bs %d)", off, a.start, a.blockSize))
+	}
+	b := (off - a.start) / a.blockSize
+	if b >= a.nblocks {
+		panic(fmt.Sprintf("alloc: offset %d beyond region", off))
+	}
+	return b
+}
+
+func (a *Allocator) test(b int64) bool { return a.bitmap[b/64]&(1<<uint(b%64)) != 0 }
+func (a *Allocator) set(b int64)       { a.bitmap[b/64] |= 1 << uint(b%64) }
+func (a *Allocator) clear(b int64)     { a.bitmap[b/64] &^= 1 << uint(b%64) }

@@ -1,0 +1,223 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mgsp/internal/sim"
+)
+
+func newTestAllocator(start, size, bs int64) (*Allocator, *sim.Ctx) {
+	costs := sim.ZeroCosts()
+	return New(start, size, bs, &costs), sim.NewCtx(0, 1)
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a, ctx := newTestAllocator(0, 64*4096, 4096)
+	off, err := a.Alloc(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%4096 != 0 {
+		t.Fatalf("offset %d not block aligned", off)
+	}
+	if !a.Allocated(off) {
+		t.Fatal("block not marked allocated")
+	}
+	a.Free(ctx, off, 1)
+	if a.Allocated(off) {
+		t.Fatal("block still allocated after free")
+	}
+	if a.FreeBlocks() != 64 {
+		t.Fatalf("free blocks = %d, want 64", a.FreeBlocks())
+	}
+}
+
+func TestAllocRespectsRegionStart(t *testing.T) {
+	a, ctx := newTestAllocator(1<<20, 16*4096, 4096)
+	off, err := a.Alloc(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 1<<20 {
+		t.Fatalf("offset %d below region start", off)
+	}
+}
+
+func TestAllocContig(t *testing.T) {
+	a, ctx := newTestAllocator(0, 64*4096, 4096)
+	off, err := a.AllocContig(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		if !a.Allocated(off + i*4096) {
+			t.Fatalf("block %d of contig run not allocated", i)
+		}
+	}
+	if a.FreeBlocks() != 48 {
+		t.Fatalf("free blocks = %d, want 48", a.FreeBlocks())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a, ctx := newTestAllocator(0, 4*4096, 4096)
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(ctx); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(ctx); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestContigExhaustionWithFragmentation(t *testing.T) {
+	a, ctx := newTestAllocator(0, 8*4096, 4096)
+	var offs []int64
+	for i := 0; i < 8; i++ {
+		off, err := a.Alloc(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Free every other block: 4 free blocks but no contiguous pair.
+	for i := 0; i < 8; i += 2 {
+		a.Free(ctx, offs[i], 1)
+	}
+	if _, err := a.AllocContig(ctx, 2); err != ErrNoSpace {
+		t.Fatalf("fragmented contig alloc err = %v, want ErrNoSpace", err)
+	}
+	if _, err := a.Alloc(ctx); err != nil {
+		t.Fatalf("single-block alloc should succeed: %v", err)
+	}
+}
+
+func TestContigWrapAroundHint(t *testing.T) {
+	a, ctx := newTestAllocator(0, 8*4096, 4096)
+	// Push the hint near the end, then free the start and ask for a run
+	// that only fits at the start.
+	first, err := a.AllocContig(ctx, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(ctx, first, 6)
+	if _, err := a.AllocContig(ctx, 2); err != nil { // blocks 6,7
+		t.Fatal(err)
+	}
+	off, err := a.AllocContig(ctx, 6) // must wrap to block 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("wrap-around alloc at %d, want 0", off)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a, ctx := newTestAllocator(0, 4*4096, 4096)
+	off, _ := a.Alloc(ctx)
+	a.Free(ctx, off, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(ctx, off, 1)
+}
+
+func TestMarkAllocatedForRecovery(t *testing.T) {
+	a, _ := newTestAllocator(0, 8*4096, 4096)
+	if err := a.MarkAllocated(4096, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allocated(4096) || !a.Allocated(8192) {
+		t.Fatal("MarkAllocated did not mark")
+	}
+	if err := a.MarkAllocated(8192, 1); err == nil {
+		t.Fatal("re-marking allocated block must error")
+	}
+	if a.FreeBlocks() != 6 {
+		t.Fatalf("free = %d, want 6", a.FreeBlocks())
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, ctx := newTestAllocator(0, 8*4096, 4096)
+	for i := 0; i < 8; i++ {
+		a.Alloc(ctx)
+	}
+	a.Reset()
+	if a.FreeBlocks() != 8 || a.UsedBlocks() != 0 {
+		t.Fatal("Reset did not free all blocks")
+	}
+}
+
+// TestNoOverlapProperty: any interleaving of allocations yields
+// non-overlapping block runs.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a, ctx := newTestAllocator(0, 1024*4096, 4096)
+		type run struct{ off, n int64 }
+		var runs []run
+		for _, s := range sizes {
+			n := int64(s)%8 + 1
+			off, err := a.AllocContig(ctx, n)
+			if err != nil {
+				return true // exhaustion is fine
+			}
+			for _, r := range runs {
+				if off < r.off+r.n*4096 && r.off < off+n*4096 {
+					return false // overlap
+				}
+			}
+			runs = append(runs, run{off, n})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a, _ := newTestAllocator(0, 4096*4096, 4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := sim.NewCtx(id, int64(id))
+			var mine []int64
+			for i := 0; i < 200; i++ {
+				off, err := a.Alloc(ctx)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				mine = append(mine, off)
+				if len(mine) > 10 {
+					a.Free(ctx, mine[0], 1)
+					mine = mine[1:]
+				}
+			}
+			for _, off := range mine {
+				a.Free(ctx, off, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.UsedBlocks() != 0 {
+		t.Fatalf("leak: %d blocks still used", a.UsedBlocks())
+	}
+}
+
+func TestUsedBlocks(t *testing.T) {
+	a, ctx := newTestAllocator(0, 16*4096, 4096)
+	a.AllocContig(ctx, 5)
+	if got := a.UsedBlocks(); got != 5 {
+		t.Fatalf("UsedBlocks = %d, want 5", got)
+	}
+}

@@ -1,0 +1,162 @@
+// Package bench contains one runner per table and figure in the paper's
+// evaluation (§IV). Each runner builds fresh file systems on fresh simulated
+// devices, drives the same workload the paper used, and returns a Table
+// whose rows/series mirror the published plot, so `mgspbench` and the
+// testing.B wrappers in bench_test.go can regenerate every result.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mgsp/internal/core"
+	"mgsp/internal/ext4"
+	"mgsp/internal/libnvmmio"
+	"mgsp/internal/nova"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+// Scale controls experiment sizing. The paper runs 1 GiB files for 60 s on
+// real hardware; the simulated runs use a smaller file and a fixed op count,
+// which preserves every steady-state effect the figures show.
+type Scale struct {
+	FileSize   int64
+	Ops        int // per-thread ops for single-thread runs
+	DBScale    int // divisor applied to database workload sizes
+	MaxThreads int
+}
+
+// Quick is the scale used by unit benches and CI.
+func Quick() Scale {
+	return Scale{FileSize: 32 << 20, Ops: 1500, DBScale: 4, MaxThreads: 8}
+}
+
+// Full approximates the paper's setup.
+func Full() Scale {
+	return Scale{FileSize: 256 << 20, Ops: 6000, DBScale: 1, MaxThreads: 16}
+}
+
+// Table is one reproduced figure/table.
+type Table struct {
+	ID    string
+	Title string
+	Unit  string
+	Cols  []string
+	Rows  []string
+	Cells [][]float64 // [row][col]
+	Notes []string
+}
+
+// NewTable allocates the cell grid.
+func NewTable(id, title, unit string, cols, rows []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{ID: id, Title: title, Unit: unit, Cols: cols, Rows: rows, Cells: cells}
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	rowW := 12
+	for _, r := range t.Rows {
+		if len(r)+2 > rowW {
+			rowW = len(r) + 2
+		}
+	}
+	colW := 10
+	for _, c := range t.Cols {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s (%s) ==\n", t.ID, t.Title, t.Unit)
+	fmt.Fprintf(&b, "%-*s", rowW, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", colW, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", rowW, r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "%*.2f", colW, t.Cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell looks a value up by names (test helper).
+func (t *Table) Cell(row, col string) float64 {
+	ri, ci := -1, -1
+	for i, r := range t.Rows {
+		if r == row {
+			ri = i
+		}
+	}
+	for j, c := range t.Cols {
+		if c == col {
+			ci = j
+		}
+	}
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("bench: no cell (%q, %q) in %s", row, col, t.ID))
+	}
+	return t.Cells[ri][ci]
+}
+
+// System is a file system under evaluation.
+type System struct {
+	Name string
+	Make func(devSize int64) vfs.FS
+}
+
+// devSizeFor leaves room for logs, metadata, and CoW slack.
+func devSizeFor(fileSize int64) int64 {
+	s := fileSize*4 + (64 << 20)
+	return s
+}
+
+// MakeExt4 builds an Ext4 instance in the given mode.
+func MakeExt4(mode ext4.Mode) System {
+	return System{Name: mode.String(), Make: func(devSize int64) vfs.FS {
+		return ext4.New(nvm.New(devSize, sim.DefaultCosts()), mode)
+	}}
+}
+
+// MakeNOVA builds a NOVA instance.
+func MakeNOVA() System {
+	return System{Name: "NOVA", Make: func(devSize int64) vfs.FS {
+		return nova.New(nvm.New(devSize, sim.DefaultCosts()))
+	}}
+}
+
+// MakeLibnvmmio builds a Libnvmmio instance.
+func MakeLibnvmmio() System {
+	return System{Name: "Libnvmmio", Make: func(devSize int64) vfs.FS {
+		return libnvmmio.New(nvm.New(devSize, sim.DefaultCosts()))
+	}}
+}
+
+// MakeMGSP builds an MGSP instance with the given options.
+func MakeMGSP(name string, opts core.Options) System {
+	return System{Name: name, Make: func(devSize int64) vfs.FS {
+		return core.MustNew(nvm.New(devSize, sim.DefaultCosts()), opts)
+	}}
+}
+
+// FourSystems returns the paper's standard comparison set.
+func FourSystems() []System {
+	return []System{
+		MakeExt4(ext4.DAX),
+		MakeNOVA(),
+		MakeLibnvmmio(),
+		MakeMGSP("MGSP", core.DefaultOptions()),
+	}
+}

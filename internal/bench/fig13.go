@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+
+	"mgsp/internal/core"
+	"mgsp/internal/ext4"
+	"mgsp/internal/fio"
+)
+
+func mgspDefault() core.Options { return core.DefaultOptions() }
+
+// ablationLadder returns the cumulative-technique configurations of
+// Figure 13, in order.
+func ablationLadder() []struct {
+	Name string
+	Opts core.Options
+} {
+	shadowOnly := core.DefaultOptions()
+	shadowOnly.MultiGranularity = false
+	shadowOnly.Locking = core.LockFile
+	shadowOnly.GreedyLocking = false
+	shadowOnly.LazyIntentionCleaning = false
+	shadowOnly.MinSearchTree = false
+
+	multi := shadowOnly
+	multi.MultiGranularity = true
+
+	mgl := multi
+	mgl.Locking = core.LockMGL
+
+	full := core.DefaultOptions()
+
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"+shadow-log", shadowOnly},
+		{"+multi-granularity", multi},
+		{"+MGL", mgl},
+		{"+optimizations", full},
+	}
+}
+
+// Fig13 reproduces Figure 13: the contribution of each technique to write
+// performance, normalized to Ext4-DAX, for the paper's three cases
+// (1 KiB x 1 thread, 4 KiB x 4 threads, 2 KiB x 2 threads).
+func Fig13(sc Scale) (*Table, error) {
+	cases := []struct {
+		name    string
+		bs      int
+		threads int
+	}{
+		{"1K-1thr", 1024, 1},
+		{"4K-4thr", 4096, 4},
+		{"2K-2thr", 2048, 2},
+	}
+	ladder := ablationLadder()
+	cols := []string{"Ext4-DAX"}
+	for _, l := range ladder {
+		cols = append(cols, l.Name)
+	}
+	rows := make([]string, len(cases))
+	for i, c := range cases {
+		rows[i] = c.name
+	}
+	t := NewTable("fig13", "technique contributions, write throughput normalized to Ext4-DAX", "x Ext4-DAX", cols, rows)
+	for i, c := range cases {
+		cfg := fio.Config{Op: fio.SeqWrite, BS: c.bs, Threads: c.threads, FsyncEvery: 1, OpsPerThread: sc.Ops / c.threads}
+		base, err := runFIO(MakeExt4(ext4.DAX), sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 base %s: %w", c.name, err)
+		}
+		t.Cells[i][0] = 1.0
+		for j, l := range ladder {
+			res, err := runFIO(MakeMGSP(l.Name, l.Opts), sc, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s %s: %w", l.Name, c.name, err)
+			}
+			t.Cells[i][j+1] = res.ThroughputMBps() / base.ThroughputMBps()
+		}
+	}
+	return t, nil
+}

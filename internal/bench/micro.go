@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+
+	"mgsp/internal/ext4"
+	"mgsp/internal/fio"
+)
+
+// runFIO builds a fresh instance of sys and runs one FIO configuration.
+func runFIO(sys System, sc Scale, cfg fio.Config) (fio.Result, error) {
+	fs := sys.Make(devSizeFor(sc.FileSize))
+	cfg.FileSize = sc.FileSize
+	if cfg.OpsPerThread == 0 {
+		cfg.OpsPerThread = sc.Ops
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return fio.Run(fs, cfg)
+}
+
+// Fig1 reproduces Figure 1: 4 KiB write performance of Ext4 under different
+// consistency modes with and without per-op fsync, Ext4-DAX, and Libnvmmio.
+func Fig1(sc Scale) (*Table, error) {
+	type cfg struct {
+		name  string
+		sys   System
+		fsync int
+	}
+	configs := []cfg{
+		{"Ext4-wb", MakeExt4(ext4.Writeback), 0},
+		{"Ext4-wb-sync", MakeExt4(ext4.Writeback), 1},
+		{"Ext4-ordered", MakeExt4(ext4.Ordered), 0},
+		{"Ext4-ordered-sync", MakeExt4(ext4.Ordered), 1},
+		{"Ext4-journal", MakeExt4(ext4.Journal), 0},
+		{"Ext4-journal-sync", MakeExt4(ext4.Journal), 1},
+		{"Ext4-DAX", MakeExt4(ext4.DAX), 0},
+		{"Ext4-DAX-sync", MakeExt4(ext4.DAX), 1},
+		{"Libnvmmio", MakeLibnvmmio(), 0},
+		{"Libnvmmio-sync", MakeLibnvmmio(), 1},
+	}
+	rows := make([]string, len(configs))
+	for i, c := range configs {
+		rows[i] = c.name
+	}
+	t := NewTable("fig1", "4KB write performance under consistency/sync requirements", "MiB/s", []string{"throughput"}, rows)
+	for i, c := range configs {
+		res, err := runFIO(c.sys, sc, fio.Config{Op: fio.SeqWrite, BS: 4096, Threads: 1, FsyncEvery: c.fsync})
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", c.name, err)
+		}
+		t.Cells[i][0] = res.ThroughputMBps()
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: 4K sequential write vs fsync interval.
+func Fig7(sc Scale) (*Table, error) {
+	systems := []System{MakeExt4(ext4.DAX), MakeLibnvmmio(), MakeMGSP("MGSP", mgspDefault())}
+	intervals := []int{1, 10, 100, 1000, 0}
+	rows := make([]string, len(intervals))
+	for i, iv := range intervals {
+		if iv == 0 {
+			rows[i] = "no-fsync"
+		} else {
+			rows[i] = fmt.Sprintf("fsync-%d", iv)
+		}
+	}
+	t := NewTable("fig7", "4K sequential write vs fsync interval", "MiB/s", names(systems), rows)
+	for j, sys := range systems {
+		for i, iv := range intervals {
+			res, err := runFIO(sys, sc, fio.Config{Op: fio.SeqWrite, BS: 4096, Threads: 1, FsyncEvery: iv})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s fsync-%d: %w", sys.Name, iv, err)
+			}
+			t.Cells[i][j] = res.ThroughputMBps()
+		}
+	}
+	return t, nil
+}
+
+// fig8Sizes is the paper's granularity sweep: fine (<4K) and coarse (>=4K).
+var fig8Sizes = []int{256, 512, 1024, 2048, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// Fig8 reproduces Figure 8: (a) seq write, (b) rand write, (c) seq read,
+// (d) rand read across request sizes, with fsync after every operation.
+func Fig8(sc Scale, op fio.Op) (*Table, error) {
+	sub := map[fio.Op]string{fio.SeqWrite: "a-seq-write", fio.RandWrite: "b-rand-write", fio.SeqRead: "c-seq-read", fio.RandRead: "d-rand-read"}[op]
+	systems := FourSystems()
+	rows := make([]string, len(fig8Sizes))
+	for i, s := range fig8Sizes {
+		rows[i] = sizeName(s)
+	}
+	t := NewTable("fig8"+sub[:1], "Fig8("+sub+"): "+op.String()+" across request sizes", "MiB/s", names(systems), rows)
+	for j, sys := range systems {
+		for i, bs := range fig8Sizes {
+			ops := sc.Ops
+			if bs >= 64<<10 {
+				ops = sc.Ops / 8 // large requests move far more bytes
+			}
+			res, err := runFIO(sys, sc, fio.Config{Op: op, BS: bs, Threads: 1, FsyncEvery: 1, OpsPerThread: ops})
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s %s: %w", sys.Name, rows[i], err)
+			}
+			t.Cells[i][j] = res.ThroughputMBps()
+		}
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: 4K mixed read/write across write ratios,
+// normalized to Ext4-DAX.
+func Fig9(sc Scale) (*Table, error) {
+	ratios := []int{10, 30, 50, 70, 90}
+	base := MakeExt4(ext4.DAX)
+	others := []System{MakeLibnvmmio(), MakeNOVA(), MakeMGSP("MGSP", mgspDefault())}
+	rows := make([]string, len(ratios))
+	for i, r := range ratios {
+		rows[i] = fmt.Sprintf("write-%d%%", r)
+	}
+	t := NewTable("fig9", "4K mixed R/W normalized to Ext4-DAX", "x Ext4-DAX", names(others), rows)
+	for i, r := range ratios {
+		cfg := fio.Config{Op: fio.Mixed, BS: 4096, Threads: 1, FsyncEvery: 1, WriteRatio: r}
+		baseRes, err := runFIO(base, sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for j, sys := range others {
+			res, err := runFIO(sys, sc, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s: %w", sys.Name, err)
+			}
+			t.Cells[i][j] = res.ThroughputMBps() / baseRes.ThroughputMBps()
+		}
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: multi-thread scalability on one file for the
+// given block size and access pattern.
+func Fig10(sc Scale, bs int, op fio.Op) (*Table, error) {
+	systems := FourSystems()
+	var threads []int
+	for th := 1; th <= sc.MaxThreads; th *= 2 {
+		threads = append(threads, th)
+	}
+	rows := make([]string, len(threads))
+	for i, th := range threads {
+		rows[i] = fmt.Sprintf("%d-threads", th)
+	}
+	t := NewTable(fmt.Sprintf("fig10-%s-%s", sizeName(bs), op), fmt.Sprintf("scalability, %s %s", sizeName(bs), op), "MiB/s", names(systems), rows)
+	for j, sys := range systems {
+		for i, th := range threads {
+			res, err := runFIO(sys, sc, fio.Config{Op: op, BS: bs, Threads: th, FsyncEvery: 1, OpsPerThread: sc.Ops / 2})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s %d threads: %w", sys.Name, th, err)
+			}
+			t.Cells[i][j] = res.ThroughputMBps()
+		}
+	}
+	return t, nil
+}
+
+// TableII reproduces Table II: write amplification (media bytes per user
+// byte) for random writes at 1K/4K/16K under different sync regimes.
+func TableII(sc Scale) (*Table, error) {
+	type variant struct {
+		name  string
+		sys   System
+		fsync int
+	}
+	variants := []variant{
+		{"Libnvmmio", MakeLibnvmmio(), 1},
+		{"Libnvmmio-100", MakeLibnvmmio(), 100},
+		{"Libnvmmio-wo-sync", MakeLibnvmmio(), 0},
+		{"MGSP", MakeMGSP("MGSP", mgspDefault()), 1},
+	}
+	sizes := []int{1024, 4096, 16 << 10}
+	cols := make([]string, len(variants))
+	for j, v := range variants {
+		cols[j] = v.name
+	}
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = sizeName(s)
+	}
+	t := NewTable("table2", "write amplification, random write", "ratio", cols, rows)
+	for i, bs := range sizes {
+		for j, v := range variants {
+			res, err := runFIO(v.sys, sc, fio.Config{Op: fio.RandWrite, BS: bs, Threads: 1, FsyncEvery: v.fsync})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s %s: %w", v.name, rows[i], err)
+			}
+			t.Cells[i][j] = res.WriteAmplification()
+		}
+	}
+	return t, nil
+}
+
+func names(systems []System) []string {
+	out := make([]string, len(systems))
+	for i, s := range systems {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// crashRun executes setup, arms the device at fail point `fail`, runs op,
+// and reports whether the crash fired. On crash it recovers the device and
+// returns the remounted FS.
+func crashRun(t *testing.T, opts Options, fail int64, setup, op func(*sim.Ctx, *FS)) (*FS, bool) {
+	t.Helper()
+	dev := nvm.New(128<<20, sim.ZeroCosts())
+	fs := MustNew(dev, opts)
+	ctx := sim.NewCtx(0, 1)
+	setup(ctx, fs)
+
+	dev.ArmCrash(fail, fail*7+3)
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != nvm.ErrCrashed {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		op(ctx, fs)
+	}()
+	dev.DisarmCrash()
+	if !crashed {
+		return fs, false
+	}
+	dev.Recover()
+	fs2, err := Mount(ctx, dev, opts)
+	if err != nil {
+		t.Fatalf("fail=%d: Mount after crash: %v", fail, err)
+	}
+	return fs2, true
+}
+
+// TestCrashSweepSingleWriteAtomicity sweeps every media-op fail point
+// through one 4 KiB overwrite and asserts all-or-nothing.
+func TestCrashSweepSingleWriteAtomicity(t *testing.T) {
+	opts := smallTreeOpts()
+	oldData := bytes.Repeat([]byte{0xAA}, 16384)
+	newData := bytes.Repeat([]byte{0xBB}, 4096)
+
+	for fail := int64(0); ; fail++ {
+		fs, crashed := crashRun(t, opts, fail,
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Create(ctx, "f")
+				f.WriteAt(ctx, oldData, 0)
+			},
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Open(ctx, "f")
+				f.WriteAt(ctx, newData, 4096)
+			})
+		ctx := sim.NewCtx(9, 9)
+		f, err := fs.Open(ctx, "f")
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		got := make([]byte, 16384)
+		n, _ := f.ReadAt(ctx, got, 0)
+		if n != 16384 {
+			t.Fatalf("fail=%d: short read %d", fail, n)
+		}
+		want := append([]byte{}, oldData...)
+		if bytes.Equal(got[4096:8192], newData) {
+			copy(want[4096:], newData)
+		}
+		if !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fail=%d crashed=%v: torn write visible at byte %d (got %#x)", fail, crashed, i, got[i])
+				}
+			}
+		}
+		if !crashed {
+			if fail == 0 {
+				t.Fatal("sweep never crashed")
+			}
+			return
+		}
+	}
+}
+
+// TestCrashSweepFineWrite does the same for a sub-block (700 B, unaligned)
+// write, which exercises the sub-unit toggle and RMW paths.
+func TestCrashSweepFineWrite(t *testing.T) {
+	opts := smallTreeOpts()
+	oldData := bytes.Repeat([]byte{0x11}, 8192)
+	newData := bytes.Repeat([]byte{0x22}, 700)
+
+	for fail := int64(0); ; fail++ {
+		fs, crashed := crashRun(t, opts, fail,
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Create(ctx, "f")
+				f.WriteAt(ctx, oldData, 0)
+				f.WriteAt(ctx, bytes.Repeat([]byte{0x33}, 100), 3000) // seed fine-grained state
+			},
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Open(ctx, "f")
+				f.WriteAt(ctx, newData, 2900)
+			})
+		ctx := sim.NewCtx(9, 9)
+		f, _ := fs.Open(ctx, "f")
+		got := make([]byte, 8192)
+		f.ReadAt(ctx, got, 0)
+
+		want := append([]byte{}, oldData...)
+		copy(want[3000:], bytes.Repeat([]byte{0x33}, 100))
+		if bytes.Equal(got[2900:3600], newData) {
+			copy(want[2900:], newData)
+		}
+		if !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fail=%d crashed=%v: byte %d got %#x want %#x", fail, crashed, i, got[i], want[i])
+				}
+			}
+		}
+		if !crashed {
+			return
+		}
+	}
+}
+
+// TestCrashSweepCoarseWrite exercises the interior-node toggle: a 64 KiB
+// aligned write at degree 4 (span 16K and 64K nodes exist).
+func TestCrashSweepCoarseWrite(t *testing.T) {
+	opts := smallTreeOpts()
+	oldData := bytes.Repeat([]byte{0x44}, 256*1024)
+	newData := bytes.Repeat([]byte{0x55}, 64*1024)
+
+	for fail := int64(0); ; fail++ {
+		fs, crashed := crashRun(t, opts, fail,
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Create(ctx, "f")
+				f.WriteAt(ctx, oldData, 0)
+				f.WriteAt(ctx, oldData[:64*1024], 64*1024) // toggle some state
+			},
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Open(ctx, "f")
+				f.WriteAt(ctx, newData, 64*1024)
+			})
+		ctx := sim.NewCtx(9, 9)
+		f, _ := fs.Open(ctx, "f")
+		got := make([]byte, 256*1024)
+		f.ReadAt(ctx, got, 0)
+		want := append([]byte{}, oldData...)
+		if bytes.Equal(got[64*1024:128*1024], newData) {
+			copy(want[64*1024:], newData)
+		}
+		if !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fail=%d crashed=%v: byte %d got %#x want %#x", fail, crashed, i, got[i], want[i])
+				}
+			}
+		}
+		if !crashed {
+			return
+		}
+	}
+}
+
+// TestCrashRandomizedWorkload runs a scripted random workload, crashes at a
+// random media-op index, and checks the recovered file matches the
+// reference at some op boundary >= the last completed op (operation-level
+// atomicity: each write is all-or-nothing and ordered).
+func TestCrashRandomizedWorkload(t *testing.T) {
+	opts := smallTreeOpts()
+	const fileSize = 128 * 1024
+	const opsTotal = 60
+
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 131))
+		// Pre-generate the op sequence so we can replay references.
+		type wr struct {
+			off int64
+			n   int
+			pat byte
+		}
+		var script []wr
+		for i := 0; i < opsTotal; i++ {
+			script = append(script, wr{
+				off: int64(rng.Intn(fileSize - 70000)),
+				n:   rng.Intn(65536) + 1,
+				pat: byte(i + 1),
+			})
+		}
+		fail := int64(rng.Intn(800) + 1)
+
+		dev := nvm.New(128<<20, sim.ZeroCosts())
+		fs := MustNew(dev, opts)
+		ctx := sim.NewCtx(0, 1)
+		f, _ := fs.Create(ctx, "f")
+		f.WriteAt(ctx, make([]byte, fileSize), 0) // dense base
+
+		completed := -1
+		dev.ArmCrash(fail, int64(trial))
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != nvm.ErrCrashed {
+					panic(r)
+				}
+			}()
+			for i, w := range script {
+				f.WriteAt(ctx, bytes.Repeat([]byte{w.pat}, w.n), w.off)
+				completed = i
+			}
+		}()
+		dev.DisarmCrash()
+		dev.Recover()
+		fs2, err := Mount(ctx, dev, opts)
+		if err != nil {
+			t.Fatalf("trial %d: Mount: %v", trial, err)
+		}
+		ctx2 := sim.NewCtx(1, 2)
+		f2, err := fs2.Open(ctx2, "f")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make([]byte, fileSize)
+		f2.ReadAt(ctx2, got, 0)
+
+		// Build the two acceptable states: all ops through `completed`, or
+		// additionally the (committed-before-crash) op completed+1.
+		ref := make([]byte, fileSize)
+		for i := 0; i <= completed; i++ {
+			w := script[i]
+			for j := 0; j < w.n; j++ {
+				ref[w.off+int64(j)] = w.pat
+			}
+		}
+		if bytes.Equal(got, ref) {
+			continue
+		}
+		if completed+1 < len(script) {
+			w := script[completed+1]
+			for j := 0; j < w.n; j++ {
+				ref[w.off+int64(j)] = w.pat
+			}
+			if bytes.Equal(got, ref) {
+				continue
+			}
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d (fail=%d, completed=%d): recovered state is not an op boundary; first diff at %d: got %#x want %#x",
+					trial, fail, completed, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRecoveryIdempotent: mounting twice yields the same content.
+func TestRecoveryIdempotent(t *testing.T) {
+	opts := smallTreeOpts()
+	dev := nvm.New(128<<20, sim.ZeroCosts())
+	fs := MustNew(dev, opts)
+	ctx := sim.NewCtx(0, 1)
+	f, _ := fs.Create(ctx, "f")
+	f.WriteAt(ctx, bytes.Repeat([]byte{9}, 100000), 0)
+	dev.ArmCrash(40, 99)
+	func() {
+		defer func() { recover() }()
+		for i := 0; i < 100; i++ {
+			f.WriteAt(ctx, bytes.Repeat([]byte{byte(i)}, 3000), int64(i*900))
+		}
+	}()
+	dev.Recover()
+	fs2, err := Mount(ctx, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := fs2.Open(ctx, "f")
+	a := make([]byte, 100000)
+	f2.ReadAt(ctx, a, 0)
+
+	dev.DropVolatile()
+	fs3, err := Mount(ctx, dev, opts)
+	if err != nil {
+		t.Fatalf("second mount: %v", err)
+	}
+	f3, _ := fs3.Open(ctx, "f")
+	b := make([]byte, 100000)
+	f3.ReadAt(ctx, b, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("recovery is not idempotent")
+	}
+}
+
+// TestCrashDuringRecoveryWriteback: crash during Mount's write-back, then
+// mount again — content must still be correct (write-back is idempotent).
+func TestCrashDuringRecovery(t *testing.T) {
+	opts := smallTreeOpts()
+	dev := nvm.New(128<<20, sim.ZeroCosts())
+	fs := MustNew(dev, opts)
+	ctx := sim.NewCtx(0, 1)
+	f, _ := fs.Create(ctx, "f")
+	want := bytes.Repeat([]byte{0xE1}, 50000)
+	f.WriteAt(ctx, want, 0)
+	f.WriteAt(ctx, want[:8192], 8192)
+
+	dev.DropVolatile()
+	for fail := int64(1); fail < 200; fail += 13 {
+		dev.ArmCrash(fail, fail)
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != nvm.ErrCrashed {
+					panic(r)
+				}
+			}()
+			if _, err := Mount(ctx, dev, opts); err != nil {
+				panic(fmt.Sprintf("mount error: %v", err))
+			}
+		}()
+		dev.DisarmCrash()
+		dev.Recover()
+	}
+	fs4, err := Mount(ctx, dev, opts)
+	if err != nil {
+		t.Fatalf("final mount: %v", err)
+	}
+	f4, _ := fs4.Open(ctx, "f")
+	got := make([]byte, 50000)
+	f4.ReadAt(ctx, got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content corrupted by crash during recovery")
+	}
+}
+
+// TestCrashSweepChainedCommit: a write whose decomposition needs more than
+// ten bitmap slots commits through a metadata-log entry chain; the chain
+// must be all-or-nothing at every fail point (incomplete chains are
+// discarded at recovery).
+func TestCrashSweepChainedCommit(t *testing.T) {
+	opts := DefaultOptions() // degree 64: a 128K+1K-offset write spans 30+ leaves
+	oldData := bytes.Repeat([]byte{0x51}, 256*1024)
+	newData := bytes.Repeat([]byte{0x62}, 128*1024)
+
+	for fail := int64(0); ; fail += 3 {
+		fs, crashed := crashRun(t, opts, fail,
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Create(ctx, "f")
+				f.WriteAt(ctx, oldData, 0)
+			},
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Open(ctx, "f")
+				f.WriteAt(ctx, newData, 1024) // unaligned: many leaf targets
+			})
+		ctx := sim.NewCtx(9, 9)
+		f, _ := fs.Open(ctx, "f")
+		got := make([]byte, 256*1024)
+		f.ReadAt(ctx, got, 0)
+		want := append([]byte{}, oldData...)
+		if bytes.Equal(got[1024:1024+128*1024], newData) {
+			copy(want[1024:], newData)
+		}
+		if !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fail=%d crashed=%v: chained commit torn at byte %d (got %#x)", fail, crashed, i, got[i])
+				}
+			}
+		}
+		if !crashed {
+			if fail == 0 {
+				t.Fatal("sweep never crashed")
+			}
+			return
+		}
+	}
+}

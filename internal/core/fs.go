@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/pmfile"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+const metaLogEntries = 128 // power of two; 32 entries per 4 KiB area
+
+// MetaBytes returns the metadata reservation MGSP needs on a device of the
+// given size: the lock-free metadata log plus the node directory (records
+// for every possible leaf plus interior slack).
+func MetaBytes(devSize int64) int64 {
+	records := devSize/LeafSpan + devSize/LeafSpan/16 + 1024
+	return int64(metaLogEntries*entrySize) + records*recSize
+}
+
+// FS is a mounted MGSP instance.
+type FS struct {
+	prov  *pmfile.Provider
+	dev   *nvm.Device
+	costs *sim.Costs
+	opts  Options
+
+	dir  *directory
+	mlog *metaLog
+
+	opSeq atomic.Uint32 // group ids for chained metadata entries
+
+	mu    sim.Mutex
+	files map[string]*file
+
+	stats Stats
+}
+
+// New formats an MGSP file system over the device with the given options.
+func New(dev *nvm.Device, opts Options) (*FS, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	prov := pmfile.New(dev, MetaBytes(dev.Size()))
+	return mkFS(prov, opts), nil
+}
+
+// MustNew is New for tests and benchmarks with known-good options.
+func MustNew(dev *nvm.Device, opts Options) *FS {
+	fs, err := New(dev, opts)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+func mkFS(prov *pmfile.Provider, opts Options) *FS {
+	metaStart, metaSize := prov.MetaRegion()
+	mlogBytes := int64(metaLogEntries * entrySize)
+	return &FS{
+		prov:  prov,
+		dev:   prov.Device(),
+		costs: prov.Costs(),
+		opts:  opts,
+		mlog:  newMetaLog(prov.Device(), metaStart, metaLogEntries),
+		dir:   newDirectory(prov.Device(), metaStart+mlogBytes, metaSize-mlogBytes),
+		files: make(map[string]*file),
+	}
+}
+
+// Name implements vfs.FS.
+func (fs *FS) Name() string { return "MGSP" }
+
+// Device implements vfs.FS.
+func (fs *FS) Device() *nvm.Device { return fs.dev }
+
+// Options returns the configuration in effect.
+func (fs *FS) Options() Options { return fs.opts }
+
+// Consistency implements vfs.Guarantees: every MGSP operation is a
+// synchronized atomic operation (§IV-A).
+func (fs *FS) Consistency() vfs.ConsistencyLevel { return vfs.OpAtomic }
+
+// file is an MGSP-managed file: the pm file (whose mapping is the root
+// log) plus the multi-granularity shadow log tree.
+type file struct {
+	fs   *FS
+	pf   *pmfile.File
+	name string
+
+	root      atomic.Pointer[node]
+	minSearch atomic.Pointer[node]
+
+	treeMu sim.Mutex // tree structure growth, record/log creation
+	sizeMu sim.Mutex // size extension
+	size   atomic.Int64
+
+	flock sim.RWMutex // used in LockFile mode
+
+	// Sticky intention locks per worker (lazy intention cleaning).
+	intentMu sync.Mutex
+	intents  map[int]map[*node]*workerIntent
+
+	refs    atomic.Int32
+	removed bool
+
+	// Greedy-locking safety: greedy ops skip ancestor intentions, which is
+	// only sound while exactly one worker uses the file. The first op seen
+	// from a second worker permanently demotes the file to full MGL, after
+	// draining any in-flight greedy op.
+	lastWorker   atomic.Int64 // worker id + 1; 0 = none yet
+	multiUser    atomic.Bool
+	greedyActive atomic.Int64
+}
+
+// workerIntent tracks which intention modes a worker holds on a node.
+type workerIntent struct{ ir, iw bool }
+
+func (fs *FS) newFile(pf *pmfile.File, name string) *file {
+	f := &file{fs: fs, pf: pf, name: name, intents: make(map[int]map[*node]*workerIntent)}
+	return f
+}
+
+// Create implements vfs.FS.
+func (fs *FS) Create(ctx *sim.Ctx, name string) (vfs.File, error) {
+	fs.mu.Lock(ctx)
+	defer fs.mu.Unlock(ctx)
+	if f := fs.files[name]; f != nil {
+		f.discardTree(ctx)
+		if _, err := fs.prov.Create(ctx, name); err != nil {
+			return nil, err
+		}
+		f.size.Store(0)
+		f.refs.Add(1)
+		return &handle{f: f}, nil
+	}
+	pf, err := fs.prov.Create(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	f := fs.newFile(pf, name)
+	fs.files[name] = f
+	f.refs.Add(1)
+	return &handle{f: f}, nil
+}
+
+// Open implements vfs.FS.
+func (fs *FS) Open(ctx *sim.Ctx, name string) (vfs.File, error) {
+	fs.mu.Lock(ctx)
+	defer fs.mu.Unlock(ctx)
+	f := fs.files[name]
+	if f == nil {
+		return nil, vfs.ErrNotExist
+	}
+	ctx.Advance(fs.costs.Syscall + fs.costs.VFSOp) // open + mmap setup
+	f.refs.Add(1)
+	return &handle{f: f}, nil
+}
+
+// Remove implements vfs.FS.
+func (fs *FS) Remove(ctx *sim.Ctx, name string) error {
+	fs.mu.Lock(ctx)
+	defer fs.mu.Unlock(ctx)
+	f := fs.files[name]
+	if f == nil {
+		return vfs.ErrNotExist
+	}
+	delete(fs.files, name)
+	f.removed = true
+	if f.refs.Load() == 0 {
+		f.discardTree(ctx)
+	}
+	return fs.prov.Remove(ctx, name)
+}
+
+// discardTree releases every node's log and record without write-back
+// (truncate/remove paths; Close uses writeback instead).
+func (f *file) discardTree(ctx *sim.Ctx) {
+	if r := f.root.Load(); r != nil {
+		f.releaseSubtree(ctx, r)
+	}
+	f.root.Store(nil)
+	f.minSearch.Store(nil)
+	f.releaseAllIntents(ctx)
+}
+
+func (f *file) releaseSubtree(ctx *sim.Ctx, n *node) {
+	for i := range n.children {
+		if c := n.children[i].Load(); c != nil {
+			f.releaseSubtree(ctx, c)
+		}
+	}
+	if n.logOff != 0 {
+		f.fs.prov.Alloc().Free(ctx, n.logOff, n.span/LeafSpan)
+		n.logOff = 0
+	}
+	if n.recIdx >= 0 {
+		f.fs.dir.clear(ctx, n.recIdx)
+		n.recIdx = -1
+	}
+	n.word.Store(0)
+}
+
+// releaseAllIntents drops every worker's sticky intention locks (file close).
+func (f *file) releaseAllIntents(ctx *sim.Ctx) {
+	f.intentMu.Lock()
+	defer f.intentMu.Unlock()
+	for w, m := range f.intents {
+		for n, wi := range m {
+			if wi.ir {
+				n.lock.Unlock(ctx, lockIR)
+			}
+			if wi.iw {
+				n.lock.Unlock(ctx, lockIW)
+			}
+		}
+		delete(f.intents, w)
+	}
+}
+
+// handle is an open MGSP descriptor.
+type handle struct {
+	f      *file
+	closed bool
+}
+
+var _ vfs.File = (*handle)(nil)
+
+// Size implements vfs.File.
+func (h *handle) Size() int64 { return h.f.size.Load() }
+
+// Fsync implements vfs.File: MGSP operations are already synchronized
+// atomic operations, so fsync has nothing to persist (§IV, Figure 7).
+func (h *handle) Fsync(ctx *sim.Ctx) error {
+	if h.closed {
+		return vfs.ErrClosed
+	}
+	h.f.fs.dev.Fence(ctx)
+	return nil
+}
+
+// Close implements vfs.File. When the last handle closes, all shadow logs
+// are written back into the file and the metadata is released (§III-D).
+func (h *handle) Close(ctx *sim.Ctx) error {
+	if h.closed {
+		return vfs.ErrClosed
+	}
+	h.closed = true
+	f := h.f
+	ctx.Advance(f.fs.costs.Syscall)
+	f.fs.mu.Lock(ctx)
+	defer f.fs.mu.Unlock(ctx)
+	if f.refs.Add(-1) == 0 {
+		if f.removed {
+			f.discardTree(ctx)
+		} else {
+			f.writeback(ctx)
+		}
+	}
+	return nil
+}
+
+// Truncate implements vfs.File.
+func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
+	if h.closed {
+		return vfs.ErrClosed
+	}
+	f := h.f
+	ctx.Advance(f.fs.costs.Syscall + f.fs.costs.VFSOp)
+	f.sizeMu.Lock(ctx)
+	defer f.sizeMu.Unlock(ctx)
+	old := f.size.Load()
+	switch {
+	case size == 0 && old > 0:
+		// Truncate-to-zero (e.g. a WAL reset): every log is superseded, so
+		// discard the tree outright — no write-back needed.
+		f.discardTree(ctx)
+		f.pf.MarkUnwritten(0)
+	case size < old:
+		// Partial shrink: write back then zero the vacated range so later
+		// growth exposes no stale bytes. Rare control-plane op; the simple
+		// full write-back keeps the tree and file coherent.
+		f.writeback(ctx)
+		if err := f.pf.EnsureCapacity(ctx, old); err != nil {
+			return err
+		}
+		blockEnd := (size + LeafSpan - 1) / LeafSpan * LeafSpan
+		if blockEnd > old {
+			blockEnd = old
+		}
+		if blockEnd > size {
+			f.pf.DirectWrite(ctx, make([]byte, blockEnd-size), size)
+		}
+		f.pf.MarkUnwritten((size + LeafSpan - 1) / LeafSpan)
+	}
+	f.size.Store(size)
+	f.pf.SetSize(ctx, size)
+	return nil
+}
+
+func (h *handle) guard() error {
+	if h.closed {
+		return vfs.ErrClosed
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/pmfile"
+	"mgsp/internal/sim"
+)
+
+// Inspect produces a read-only forensic report of an MGSP device image: the
+// file table, per-file shadow-log record census (by granularity, with valid
+// and existing bit counts), and the metadata-log state — what a repair tool
+// would examine before deciding to Mount. The device is not modified.
+func Inspect(dev *nvm.Device, opts Options) (string, error) {
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	ctx := sim.NewCtx(0, 0)
+	prov, err := pmfile.Recover(ctx, dev, MetaBytes(dev.Size()))
+	if err != nil {
+		return "", err
+	}
+	fs := mkFS(prov, opts)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "MGSP image: device %d MiB, degree %d, sub-bits %d\n\n",
+		dev.Size()>>20, opts.Degree, opts.SubBits)
+
+	// File table.
+	type fileInfo struct {
+		name string
+		pf   *pmfile.File
+	}
+	var files []fileInfo
+	for name, pf := range prov.Files() {
+		files = append(files, fileInfo{name, pf})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+	bySlot := make(map[int]string)
+	for _, fi := range files {
+		bySlot[fi.pf.Slot()] = fi.name
+	}
+	fmt.Fprintf(&b, "files: %d\n", len(files))
+	for _, fi := range files {
+		fmt.Fprintf(&b, "  %-24s slot=%-3d size=%-12d capacity=%d\n",
+			fi.name, fi.pf.Slot(), fi.pf.Size(), fi.pf.Capacity())
+	}
+
+	// Record census per file and span.
+	type key struct {
+		slot    int
+		spanExp int
+	}
+	type census struct {
+		records, valid, existing int
+		logBytes                 int64
+	}
+	counts := make(map[key]*census)
+	total := 0
+	for idx := int64(0); idx < fs.dir.cap; idx++ {
+		tag := dev.Load8(fs.dir.off(idx) + recTag)
+		if tag&tagInUse == 0 {
+			continue
+		}
+		total++
+		slot, spanExp, _ := unpackTag(tag)
+		word := dev.Load8(fs.dir.off(idx) + recWord)
+		logOff := int64(dev.Load8(fs.dir.off(idx) + recLogOff))
+		k := key{slot, spanExp}
+		c := counts[k]
+		if c == nil {
+			c = &census{}
+			counts[k] = c
+		}
+		c.records++
+		if spanExp == 0 {
+			if word != 0 {
+				c.valid++
+			}
+		} else {
+			if word&bitValid != 0 {
+				c.valid++
+			}
+			if word&bitExisting != 0 {
+				c.existing++
+			}
+		}
+		if logOff != 0 {
+			span := int64(LeafSpan)
+			for e := 0; e < spanExp; e++ {
+				span *= int64(opts.Degree)
+			}
+			c.logBytes += span
+		}
+	}
+	fmt.Fprintf(&b, "\nshadow-log records: %d\n", total)
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].slot != keys[j].slot {
+			return keys[i].slot < keys[j].slot
+		}
+		return keys[i].spanExp > keys[j].spanExp
+	})
+	for _, k := range keys {
+		c := counts[k]
+		span := int64(LeafSpan)
+		for e := 0; e < k.spanExp; e++ {
+			span *= int64(opts.Degree)
+		}
+		name := bySlot[k.slot]
+		if name == "" {
+			name = fmt.Sprintf("(orphaned slot %d)", k.slot)
+		}
+		fmt.Fprintf(&b, "  %-24s span=%-10s records=%-6d valid=%-6d existing=%-6d log-space=%s\n",
+			name, fmtSize(span), c.records, c.valid, c.existing, fmtSize(c.logBytes))
+	}
+
+	// Metadata log.
+	live := 0
+	var ebuf [entrySize]byte
+	var liveLines []string
+	for i := 0; i < fs.mlog.entries; i++ {
+		dev.Read(ctx, ebuf[:], fs.mlog.off(i))
+		e, ok := decodeEntry(ebuf[:])
+		if !ok {
+			continue
+		}
+		live++
+		liveLines = append(liveLines, fmt.Sprintf(
+			"  entry %-3d file-slot=%d off=%d len=%d size=%d slots=%d chain=%d/%d group=%d",
+			i, e.fileSlot, e.offset, e.length, e.fileSize, len(e.slots), e.chainIdx+1, e.chainLen, e.group))
+	}
+	fmt.Fprintf(&b, "\nmetadata log: %d entries, %d live (uncommitted or unreplayed)\n", fs.mlog.entries, live)
+	for _, l := range liveLines {
+		b.WriteString(l + "\n")
+	}
+	if live > 0 {
+		b.WriteString("  -> Mount would complete these operations during recovery\n")
+	}
+	return b.String(), nil
+}
+
+func fmtSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

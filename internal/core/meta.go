@@ -1,0 +1,248 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// ---- node directory ----
+//
+// Every tree node that has participated in a committed operation owns a
+// 64-byte persistent record: tag (file slot, span exponent, index), the
+// private log location, and the bitmap word that commit operations update
+// with 8-byte atomic stores. Recovery rebuilds all trees by scanning the
+// records; record allocation itself is volatile (a free list), rebuilt by
+// the same scan.
+
+const (
+	recSize   = 64
+	recTag    = 0
+	recLogOff = 8
+	recWord   = 16
+
+	tagInUse = uint64(1) << 63
+)
+
+func packTag(slot int, spanExp int, idx int64) uint64 {
+	return tagInUse | uint64(slot)<<48 | uint64(spanExp)<<40 | uint64(idx)
+}
+
+func unpackTag(tag uint64) (slot, spanExp int, idx int64) {
+	return int(tag >> 48 & 0x7FFF), int(tag >> 40 & 0xFF), int64(tag & (1<<40 - 1))
+}
+
+type directory struct {
+	dev  *nvm.Device
+	base int64
+	cap  int64
+
+	mu   sim.Mutex
+	next int64
+	free []int64
+}
+
+func newDirectory(dev *nvm.Device, base, size int64) *directory {
+	return &directory{dev: dev, base: base, cap: size / recSize}
+}
+
+func (d *directory) off(idx int64) int64 { return d.base + idx*recSize }
+
+// create persists a fresh record for node n and returns its index.
+func (d *directory) create(ctx *sim.Ctx, slot, spanExp int, n *node) int64 {
+	d.mu.Lock(ctx)
+	var idx int64
+	if len(d.free) > 0 {
+		idx = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+	} else {
+		if d.next >= d.cap {
+			d.mu.Unlock(ctx)
+			panic("core: node directory full")
+		}
+		idx = d.next
+		d.next++
+	}
+	d.mu.Unlock(ctx)
+
+	var buf [recSize]byte
+	binary.LittleEndian.PutUint64(buf[recLogOff:], uint64(n.logOff))
+	binary.LittleEndian.PutUint64(buf[recWord:], n.word.Load())
+	d.dev.WriteNT(ctx, buf[8:], d.off(idx)+8)
+	d.dev.Fence(ctx)
+	d.dev.Store8(ctx, d.off(idx)+recTag, packTag(slot, spanExp, n.idx))
+	return idx
+}
+
+func (d *directory) setLogOff(ctx *sim.Ctx, idx, logOff int64) {
+	d.dev.Store8(ctx, d.off(idx)+recLogOff, uint64(logOff))
+	d.dev.Fence(ctx)
+}
+
+// setWord atomically updates a record's bitmap word (the commit action).
+func (d *directory) setWord(ctx *sim.Ctx, idx int64, w uint64) {
+	d.dev.Store8(ctx, d.off(idx)+recWord, w)
+}
+
+// clear retires a record (file close / remove).
+func (d *directory) clear(ctx *sim.Ctx, idx int64) {
+	d.dev.Store8(ctx, d.off(idx)+recTag, 0)
+	d.mu.Lock(ctx)
+	d.free = append(d.free, idx)
+	d.mu.Unlock(ctx)
+}
+
+// ---- lock-free metadata log (§III-C1) ----
+
+const (
+	entrySize  = 128
+	entrySlots = 10
+
+	entLen    = 0
+	entSlot   = 8
+	entOffset = 16
+	entSize   = 24
+	entMeta   = 32 // count(8b) | chainIdx(8b) | chainLen(8b) | pad | group(32b)
+	entCksum  = 40
+	entData   = 48 // 10 slots x 8 bytes
+)
+
+// bitmapSlot records one node's bitmap transition: the record index, the
+// old word (undo) and the new word (redo). Only valid bits need recording;
+// existing bits are recovered as safe over-approximations.
+type bitmapSlot struct {
+	recIdx   int64
+	old, new uint16
+}
+
+// metaLog is the fixed array of 128-byte entries claimed lock-free by
+// hashing the worker id, with linear probing on collision.
+type metaLog struct {
+	dev     *nvm.Device
+	base    int64
+	entries int
+	claims  []atomic.Bool
+}
+
+func newMetaLog(dev *nvm.Device, base int64, entries int) *metaLog {
+	return &metaLog{dev: dev, base: base, entries: entries, claims: make([]atomic.Bool, entries)}
+}
+
+func (m *metaLog) off(i int) int64 { return m.base + int64(i)*entrySize }
+
+// claim obtains a private entry for the worker: hash, then linear probing
+// (§III-C1). It spins only if every entry is claimed (more workers than
+// entries; the paper's answer is to expand the area or wait).
+func (m *metaLog) claim(ctx *sim.Ctx, worker int) int {
+	h := (worker * 0x9E3779B1) & (m.entries - 1)
+	for {
+		for p := 0; p < m.entries; p++ {
+			i := (h + p) & (m.entries - 1)
+			ctx.Advance(m.dev.Costs().Atomic)
+			if m.claims[i].CompareAndSwap(false, true) {
+				return i
+			}
+		}
+	}
+}
+
+// commit persists one entry of an operation's chain: header + slots +
+// checksum, flushing only the first 64 bytes when two or fewer bitmap slots
+// are used ("MGSP will only flush part of one metadata log entry"). Most
+// operations need a single entry; ops whose decomposition touches more than
+// ten nodes chain several, identified by a group id, and the chain commits
+// atomically because entries persist in order and recovery only applies
+// complete chains.
+func (m *metaLog) commit(ctx *sim.Ctx, i int, fileSlot int, offset, length, fileSize int64,
+	slots []bitmapSlot, group uint32, chainIdx, chainLen int) {
+	if len(slots) > entrySlots {
+		panic(fmt.Sprintf("core: %d bitmap slots exceed the %d per entry", len(slots), entrySlots))
+	}
+	var buf [entrySize]byte
+	binary.LittleEndian.PutUint64(buf[entLen:], uint64(length))
+	binary.LittleEndian.PutUint64(buf[entSlot:], uint64(fileSlot))
+	binary.LittleEndian.PutUint64(buf[entOffset:], uint64(offset))
+	binary.LittleEndian.PutUint64(buf[entSize:], uint64(fileSize))
+	meta := uint64(len(slots)) | uint64(chainIdx)<<8 | uint64(chainLen)<<16 | uint64(group)<<32
+	binary.LittleEndian.PutUint64(buf[entMeta:], meta)
+	for k, s := range slots {
+		binary.LittleEndian.PutUint64(buf[entData+k*8:],
+			uint64(uint32(s.recIdx))|uint64(s.old)<<32|uint64(s.new)<<48)
+	}
+	n := entrySize
+	if len(slots) <= 2 {
+		n = 64
+	}
+	binary.LittleEndian.PutUint64(buf[entCksum:], entryChecksum(buf[:n]))
+	m.dev.WriteNT(ctx, buf[:n], m.off(i))
+	m.dev.Fence(ctx)
+}
+
+// retire marks the entry outdated ("the length in the log will be set to 0")
+// and releases the claim.
+func (m *metaLog) retire(ctx *sim.Ctx, i int) {
+	m.dev.Store8(ctx, m.off(i)+entLen, 0)
+	m.claims[i].Store(false)
+}
+
+// entryChecksum hashes the entry with the checksum field zeroed.
+func entryChecksum(b []byte) uint64 {
+	var tmp [entrySize]byte
+	copy(tmp[:], b)
+	for i := entCksum; i < entCksum+8; i++ {
+		tmp[i] = 0
+	}
+	return uint64(crc32.ChecksumIEEE(tmp[:len(b)]))
+}
+
+// logEntry is a decoded metadata-log entry.
+type logEntry struct {
+	fileSlot int
+	offset   int64
+	length   int64
+	fileSize int64
+	slots    []bitmapSlot
+	group    uint32
+	chainIdx int
+	chainLen int
+}
+
+// decodeEntry validates and decodes a metadata log entry read from the
+// device; ok is false for retired or torn entries.
+func decodeEntry(b []byte) (e logEntry, ok bool) {
+	e.length = int64(binary.LittleEndian.Uint64(b[entLen:]))
+	if e.length == 0 {
+		return e, false
+	}
+	meta := binary.LittleEndian.Uint64(b[entMeta:])
+	count := int(meta & 0xFF)
+	if count > entrySlots {
+		return e, false
+	}
+	n := entrySize
+	if count <= 2 {
+		n = 64
+	}
+	if entryChecksum(b[:n]) != binary.LittleEndian.Uint64(b[entCksum:]) {
+		return e, false
+	}
+	e.fileSlot = int(binary.LittleEndian.Uint64(b[entSlot:]))
+	e.offset = int64(binary.LittleEndian.Uint64(b[entOffset:]))
+	e.fileSize = int64(binary.LittleEndian.Uint64(b[entSize:]))
+	e.chainIdx = int(meta >> 8 & 0xFF)
+	e.chainLen = int(meta >> 16 & 0xFF)
+	e.group = uint32(meta >> 32)
+	for k := 0; k < count; k++ {
+		w := binary.LittleEndian.Uint64(b[entData+k*8:])
+		e.slots = append(e.slots, bitmapSlot{
+			recIdx: int64(uint32(w)),
+			old:    uint16(w >> 32),
+			new:    uint16(w >> 48),
+		})
+	}
+	return e, true
+}

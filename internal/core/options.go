@@ -1,0 +1,83 @@
+// Package core implements Multi-Granularity Shadow Paging (MGSP), the
+// paper's contribution: a user-space crash-consistency layer for memory-
+// mapped I/O on NVM built from
+//
+//   - shadow logging (§III-B): each tree node's log and its nearest valid
+//     ancestor's log alternate between redo and undo roles, so every user
+//     write costs exactly one data write — no double write, no checkpoint;
+//   - a multi-granularity radix tree (MSL): each level logs at one
+//     granularity (leaf 4 KiB with sub-block valid bits, coarser spans
+//     above), chosen per write to minimize write amplification and metadata;
+//   - bitmap metadata with lazy cleaning (§III-B2);
+//   - a lock-free metadata log for operation-level atomicity (§III-C1);
+//   - multiple-granularity locking with greedy locking, lazy intention
+//     cleaning, and a minimum-search-tree cache (§III-C2).
+//
+// The package implements vfs.FS/vfs.File so the FIO and SQLite workloads can
+// drive it interchangeably with the baselines, plus Mount for crash recovery.
+package core
+
+import "fmt"
+
+// LockMode selects the isolation strategy (the Figure 13 ablation axis).
+type LockMode int
+
+const (
+	// LockMGL uses multiple-granularity locking over the radix tree.
+	LockMGL LockMode = iota
+	// LockFile takes a single file-level readers-writer lock per operation
+	// (the coarse baseline the paper's "fine-grained locking" bar beats).
+	LockFile
+)
+
+// Options configures an MGSP instance. The zero value is not valid; use
+// DefaultOptions (the full system) or start from it for ablations.
+type Options struct {
+	// Degree is the radix tree fan-out (the paper uses 64: granularity
+	// ladder 4K / 256K / 16M / 1G ...).
+	Degree int
+	// SubBits is the number of valid bits per leaf: the minimum update
+	// granularity is 4096/SubBits bytes (the paper discusses 2 bits -> 2 KiB
+	// and uses up to 64 B fine-grained units; the default 8 gives 512 B).
+	// Must be a power of two between 1 and 16 (bitmap slots reserve 16 bits).
+	SubBits int
+	// MultiGranularity enables coarse-grained targets and leaf sub-block
+	// updates. When false every write is handled at fixed 4 KiB granularity
+	// with read-modify-write for partial blocks — the plain "shadow log"
+	// baseline of Figure 13.
+	MultiGranularity bool
+	// Locking selects file-level or multiple-granularity locking.
+	Locking LockMode
+	// GreedyLocking enables the single-lock fast path when the file has one
+	// reference (§III-C2, "greedy locking").
+	GreedyLocking bool
+	// LazyIntentionCleaning keeps intention locks cached across operations;
+	// conflicting coarse acquirers descend to child locks instead of
+	// waiting (§III-C2, "lazy cleaning for intention lock").
+	LazyIntentionCleaning bool
+	// MinSearchTree enables the cached minimum search subtree (§III-B1).
+	MinSearchTree bool
+}
+
+// DefaultOptions returns the full MGSP configuration evaluated in the paper.
+func DefaultOptions() Options {
+	return Options{
+		Degree:                64,
+		SubBits:               8,
+		MultiGranularity:      true,
+		Locking:               LockMGL,
+		GreedyLocking:         true,
+		LazyIntentionCleaning: true,
+		MinSearchTree:         true,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Degree < 2 || o.Degree > 1024 {
+		return fmt.Errorf("core: Degree %d out of range [2,1024]", o.Degree)
+	}
+	if o.SubBits < 1 || o.SubBits > 16 || o.SubBits&(o.SubBits-1) != 0 {
+		return fmt.Errorf("core: SubBits %d must be a power of two in [1,16]", o.SubBits)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package core
+
+import "sync/atomic"
+
+// Stats exposes MGSP-internal counters so tests and tools can verify that
+// the paper's optimizations actually engage (the Figure 13 story is only
+// credible if, say, greedy locking demonstrably fires on single-user files
+// and the minimum search tree demonstrably absorbs traversals).
+type Stats struct {
+	// Writes and Reads count user operations.
+	Writes atomic.Int64
+	Reads  atomic.Int64
+	// ToggleToLog counts shadow toggles that placed new data in a node's
+	// private log (redo role); ToggleToFallback counts toggles that wrote
+	// through to the fallback (undo role). Their sum is the data-write count
+	// of the shadow log — equal user writes at matching granularity.
+	ToggleToLog      atomic.Int64
+	ToggleToFallback atomic.Int64
+	// MinSearchHits / MinSearchMisses count cached-subtree lookups.
+	MinSearchHits   atomic.Int64
+	MinSearchMisses atomic.Int64
+	// GreedyOps counts operations that used the single-lock fast path;
+	// Descends counts coarse acquisitions that descended past sticky
+	// intentions (lazy cleaning at work).
+	GreedyOps atomic.Int64
+	Descends  atomic.Int64
+	// MetaEntries counts metadata-log entries committed (including chain
+	// extensions).
+	MetaEntries atomic.Int64
+}
+
+// Stats returns the live counters.
+func (fs *FS) Stats() *Stats { return &fs.stats }

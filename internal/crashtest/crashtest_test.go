@@ -1,0 +1,101 @@
+package crashtest
+
+import (
+	"testing"
+
+	"mgsp/internal/core"
+	"mgsp/internal/libnvmmio"
+	"mgsp/internal/nova"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+const (
+	devSize  = 128 << 20
+	fileSize = 96 * 1024
+)
+
+func TestSweepMGSP(t *testing.T) {
+	script := Script(40, fileSize, 20000, 0, 11)
+	cfg := Config{
+		Make: func(dev *nvm.Device) vfs.FS {
+			return core.MustNew(dev, core.DefaultOptions())
+		},
+		Mount: func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) {
+			return core.Mount(ctx, dev, core.DefaultOptions())
+		},
+		DevSize:  devSize,
+		FileSize: fileSize,
+	}
+	res, err := Sweep(script, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 20 || !res.Completed {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}
+
+func TestSweepMGSPDegree4(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Degree = 4
+	script := Script(30, fileSize, 30000, 0, 23)
+	cfg := Config{
+		Make:     func(dev *nvm.Device) vfs.FS { return core.MustNew(dev, opts) },
+		Mount:    func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) { return core.Mount(ctx, dev, opts) },
+		DevSize:  devSize,
+		FileSize: fileSize,
+	}
+	if _, err := Sweep(script, cfg, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepNOVA(t *testing.T) {
+	script := Script(40, fileSize, 20000, 0, 13)
+	cfg := Config{
+		Make:     func(dev *nvm.Device) vfs.FS { return nova.New(dev) },
+		Mount:    func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) { return nova.Mount(ctx, dev) },
+		DevSize:  devSize,
+		FileSize: fileSize,
+	}
+	res, err := Sweep(script, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 20 {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}
+
+func TestSweepLibnvmmio(t *testing.T) {
+	script := Script(40, fileSize, 20000, 4, 17) // fsync every 4 ops
+	cfg := Config{
+		Make:     func(dev *nvm.Device) vfs.FS { return libnvmmio.New(dev) },
+		Mount:    func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) { return libnvmmio.Mount(ctx, dev) },
+		DevSize:  devSize,
+		FileSize: fileSize,
+	}
+	res, err := Sweep(script, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 20 {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}
+
+// TestScriptDeterminism: the same seed yields the same script.
+func TestScriptDeterminism(t *testing.T) {
+	a := Script(20, 4096*10, 1000, 3, 5)
+	b := Script(20, 4096*10, 1000, 3, 5)
+	if len(a) != len(b) {
+		t.Fatal("script lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package ext4
+
+import (
+	"bytes"
+	"testing"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// TestThrottledWritebackDuringLargeWrite regression-tests the dirty-limit
+// write-back path running inside an in-flight extending write (the page
+// being written back lies beyond the published file size).
+func TestThrottledWritebackDuringLargeWrite(t *testing.T) {
+	dev := nvm.New(256<<20, sim.ZeroCosts())
+	fs := New(dev, Ordered)
+	ctx := sim.NewCtx(0, 1)
+	f, _ := fs.Create(ctx, "big")
+	// More than dirtyLimit pages in one logical stream of 1 MiB writes.
+	chunk := bytes.Repeat([]byte{0xCD}, 1<<20)
+	total := int64((dirtyLimit + 2048) * pageSize)
+	for off := int64(0); off < total; off += 1 << 20 {
+		if _, err := f.WriteAt(ctx, chunk, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Fsync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	f.ReadAt(ctx, buf, total-1<<20)
+	if !bytes.Equal(buf, chunk) {
+		t.Fatal("tail data corrupted by throttled write-back")
+	}
+}

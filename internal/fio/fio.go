@@ -1,0 +1,318 @@
+// Package fio reimplements the parameter space of the paper's FIO harness
+// (appendix: run.sh fs op fsize bs fsync t_num write_ratio runtime ramptime):
+// sequential/random read/write and mixed workloads with configurable block
+// size, thread count, and fsync interval, driving any vfs.FS. Results are
+// reported in virtual time, so throughput numbers are deterministic.
+package fio
+
+import (
+	"fmt"
+	"sync"
+
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+// Op is the workload type.
+type Op int
+
+// Workload types, matching the paper's FIO operations.
+const (
+	SeqWrite Op = iota
+	RandWrite
+	SeqRead
+	RandRead
+	Mixed // random offsets, WriteRatio% writes
+)
+
+// String returns the workload name as used in result tables.
+func (o Op) String() string {
+	return [...]string{"seq-write", "rand-write", "seq-read", "rand-read", "mixed"}[o]
+}
+
+// Config mirrors the paper's run.sh parameters.
+type Config struct {
+	Op       Op
+	FileSize int64
+	BS       int
+	Threads  int
+	// FsyncEvery performs one fsync every N operations per thread
+	// (the paper's "fsync-N"); 0 disables fsync entirely.
+	FsyncEvery int
+	// WriteRatio is the write percentage for Mixed (e.g. 50).
+	WriteRatio int
+	// OpsPerThread fixes the per-thread operation count (the virtual-time
+	// analogue of the paper's fixed runtime).
+	OpsPerThread int
+	// RampOps runs this many unmeasured per-thread operations first (FIO's
+	// ramp_time: the paper's runs ramp for 50 s before measuring), letting
+	// log trees, allocators, and caches reach steady state. Defaults to
+	// OpsPerThread; set negative to disable.
+	RampOps int
+	Seed    int64
+	// SkipLayout leaves the file unwritten before measurement (default is
+	// to lay the file out first, as FIO does).
+	SkipLayout bool
+}
+
+// Result is one FIO run's outcome.
+type Result struct {
+	Config
+	FS        string
+	Ops       int64
+	Bytes     int64
+	VirtualNS int64
+	// UserWriteBytes / MediaWriteBytes give the Table II amplification
+	// ratio (media bytes per byte submitted at the file-system layer).
+	UserWriteBytes  int64
+	MediaWriteBytes int64
+}
+
+// ThroughputMBps is the aggregate bandwidth in MiB/s of virtual time.
+func (r Result) ThroughputMBps() float64 {
+	if r.VirtualNS == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / (float64(r.VirtualNS) / 1e9)
+}
+
+// KIOPS is the operation rate in thousands per second of virtual time.
+func (r Result) KIOPS() float64 {
+	if r.VirtualNS == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.VirtualNS) / 1e6)
+}
+
+// WriteAmplification is media write bytes per user write byte.
+func (r Result) WriteAmplification() float64 {
+	if r.UserWriteBytes == 0 {
+		return 0
+	}
+	return float64(r.MediaWriteBytes) / float64(r.UserWriteBytes)
+}
+
+// Run executes the workload against fs and returns the measurements.
+func Run(fs vfs.FS, cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.OpsPerThread <= 0 {
+		cfg.OpsPerThread = 2000
+	}
+	if cfg.BS <= 0 || int64(cfg.BS) > cfg.FileSize {
+		return Result{}, fmt.Errorf("fio: bad block size %d", cfg.BS)
+	}
+	setup := sim.NewCtx(1000, cfg.Seed)
+	f, err := fs.Create(setup, "fio.dat")
+	if err != nil {
+		return Result{}, err
+	}
+	if !cfg.SkipLayout {
+		if err := layout(setup, f, cfg.FileSize); err != nil {
+			return Result{}, err
+		}
+	}
+	f.Close(setup)
+
+	// Workers start their clocks at the layout phase's end — virtual
+	// release times on locks touched during setup would otherwise leak the
+	// whole setup duration into the first measured op. A ramp phase then
+	// brings trees/logs/caches to steady state before measurement begins.
+	dev := fs.Device()
+	if cfg.RampOps == 0 {
+		// Default ramp: at least one full pass over each worker's region, so
+		// the measured window sees steady-state log/tree reuse rather than
+		// first-touch costs.
+		cfg.RampOps = cfg.OpsPerThread + int(cfg.FileSize/int64(cfg.Threads)/int64(cfg.BS))
+	}
+	if cfg.RampOps < 0 {
+		cfg.RampOps = 0
+	}
+
+	ctxs := make([]*sim.Ctx, cfg.Threads)
+	errs := make([]error, cfg.Threads)
+	var userWrites, bytes, ops int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var t0 int64
+	barrier := newBarrier(cfg.Threads, func() {
+		// All workers are between ramp and measurement: reset counters and
+		// align clocks so the measured window is common.
+		dev.ResetStats()
+		t0 = sim.MaxTime(ctxs)
+		for _, c := range ctxs {
+			c.AdvanceTo(t0)
+		}
+	})
+	for i := 0; i < cfg.Threads; i++ {
+		ctxs[i] = sim.NewCtx(i, cfg.Seed+int64(i)+1)
+		ctxs[i].AdvanceTo(setup.Now())
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w, b, o, err := worker(ctxs[id], fs, cfg, id, barrier)
+			mu.Lock()
+			userWrites += w
+			bytes += b
+			ops += o
+			errs[id] = err
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Config:          cfg,
+		FS:              fs.Name(),
+		Ops:             ops,
+		Bytes:           bytes,
+		VirtualNS:       sim.MaxTime(ctxs) - t0,
+		UserWriteBytes:  userWrites,
+		MediaWriteBytes: dev.Stats().MediaWriteBytes.Load(),
+	}, nil
+}
+
+// barrier synchronizes workers between the ramp and measured phases,
+// running onRelease once when the last worker arrives.
+type barrier struct {
+	mu        sync.Mutex
+	waiting   int
+	n         int
+	onRelease func()
+	ch        chan struct{}
+}
+
+func newBarrier(n int, onRelease func()) *barrier {
+	return &barrier{n: n, onRelease: onRelease, ch: make(chan struct{})}
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	b.waiting++
+	if b.waiting == b.n {
+		b.onRelease()
+		close(b.ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-b.ch
+}
+
+// layout writes the whole file once (FIO's file laydown before the run).
+func layout(ctx *sim.Ctx, f vfs.File, size int64) error {
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	for off := int64(0); off < size; off += chunk {
+		n := int64(chunk)
+		if n > size-off {
+			n = size - off
+		}
+		if _, err := f.WriteAt(ctx, buf[:n], off); err != nil {
+			return err
+		}
+	}
+	return f.Fsync(ctx)
+}
+
+func worker(ctx *sim.Ctx, fs vfs.FS, cfg Config, id int, bar *barrier) (userWrites, bytes, ops int64, err error) {
+	f, err := fs.Open(ctx, "fio.dat")
+	if err != nil {
+		bar.wait()
+		return 0, 0, 0, err
+	}
+	// The measurement excludes teardown: handles are deliberately left to
+	// the file system (closing MGSP would trigger write-back, which the
+	// paper's runs also leave outside the measured window).
+	buf := make([]byte, cfg.BS)
+	for i := range buf {
+		buf[i] = byte(id + i)
+	}
+	rbuf := make([]byte, cfg.BS)
+
+	// Sequential workers get disjoint regions (FIO offset_increment);
+	// random workers roam the whole file.
+	region := cfg.FileSize / int64(cfg.Threads) / int64(cfg.BS) * int64(cfg.BS)
+	if region < int64(cfg.BS) {
+		region = int64(cfg.BS)
+	}
+	base := int64(id) * region
+	if base+int64(cfg.BS) > cfg.FileSize {
+		base = 0
+	}
+	nBlocks := cfg.FileSize / int64(cfg.BS)
+
+	seqOff := base
+	next := func(random bool) int64 {
+		if random {
+			return ctx.Rand.Int63n(nBlocks) * int64(cfg.BS)
+		}
+		off := seqOff
+		seqOff += int64(cfg.BS)
+		if seqOff+int64(cfg.BS) > base+region || seqOff+int64(cfg.BS) > cfg.FileSize {
+			seqOff = base
+		}
+		return off
+	}
+
+	doOp := func(i int) error {
+		var isWrite, random bool
+		switch cfg.Op {
+		case SeqWrite:
+			isWrite, random = true, false
+		case RandWrite:
+			isWrite, random = true, true
+		case SeqRead:
+			isWrite, random = false, false
+		case RandRead:
+			isWrite, random = false, true
+		case Mixed:
+			isWrite, random = ctx.Rand.Intn(100) < cfg.WriteRatio, true
+		}
+		off := next(random)
+		if isWrite {
+			if _, err := f.WriteAt(ctx, buf, off); err != nil {
+				return err
+			}
+			userWrites += int64(cfg.BS)
+			if cfg.FsyncEvery > 0 && (i+1)%cfg.FsyncEvery == 0 {
+				if err := f.Fsync(ctx); err != nil {
+					return err
+				}
+			}
+		} else {
+			if _, err := f.ReadAt(ctx, rbuf, off); err != nil {
+				return err
+			}
+		}
+		bytes += int64(cfg.BS)
+		ops++
+		return nil
+	}
+
+	// Ramp phase: unmeasured steady-state warm-up, then the barrier resets
+	// counters and aligns clocks.
+	for i := 0; i < cfg.RampOps; i++ {
+		if err := doOp(i); err != nil {
+			bar.wait()
+			return userWrites, bytes, ops, err
+		}
+	}
+	userWrites, bytes, ops = 0, 0, 0
+	bar.wait()
+
+	for i := 0; i < cfg.OpsPerThread; i++ {
+		if err := doOp(i); err != nil {
+			return userWrites, bytes, ops, err
+		}
+	}
+	return userWrites, bytes, ops, nil
+}

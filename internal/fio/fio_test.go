@@ -1,0 +1,146 @@
+package fio
+
+import (
+	"testing"
+
+	"mgsp/internal/core"
+	"mgsp/internal/ext4"
+	"mgsp/internal/libnvmmio"
+	"mgsp/internal/nova"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+func systems(t *testing.T, costs sim.Costs) map[string]vfs.FS {
+	t.Helper()
+	return map[string]vfs.FS{
+		"ext4dax":   ext4.New(nvm.New(96<<20, costs), ext4.DAX),
+		"nova":      nova.New(nvm.New(96<<20, costs)),
+		"libnvmmio": libnvmmio.New(nvm.New(96<<20, costs)),
+		"mgsp":      core.MustNew(nvm.New(96<<20, costs), core.DefaultOptions()),
+	}
+}
+
+func TestRunAllOpsAllSystems(t *testing.T) {
+	for name, fs := range systems(t, sim.ZeroCosts()) {
+		for _, op := range []Op{SeqWrite, RandWrite, SeqRead, RandRead, Mixed} {
+			cfg := Config{
+				Op: op, FileSize: 8 << 20, BS: 4096, Threads: 2,
+				FsyncEvery: 10, WriteRatio: 50, OpsPerThread: 100, Seed: 7,
+			}
+			res, err := Run(fs, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, op, err)
+			}
+			if res.Ops != 200 {
+				t.Fatalf("%s/%s: ops = %d, want 200", name, op, res.Ops)
+			}
+			if res.Bytes != 200*4096 {
+				t.Fatalf("%s/%s: bytes = %d", name, op, res.Bytes)
+			}
+		}
+	}
+}
+
+func TestThroughputUsesVirtualTime(t *testing.T) {
+	fs := core.MustNew(nvm.New(96<<20, sim.DefaultCosts()), core.DefaultOptions())
+	res, err := Run(fs, Config{Op: SeqWrite, FileSize: 8 << 20, BS: 4096, Threads: 1, FsyncEvery: 1, OpsPerThread: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualNS <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+	if res.ThroughputMBps() <= 0 || res.KIOPS() <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	// Sanity: a single thread writing 4K with per-op fsync on Optane-like
+	// media lands between 0.1 and 10 GB/s.
+	if mb := res.ThroughputMBps(); mb < 100 || mb > 10000 {
+		t.Fatalf("implausible MGSP throughput %.1f MiB/s", mb)
+	}
+}
+
+func TestWriteAmplificationAccounting(t *testing.T) {
+	fs := libnvmmio.New(nvm.New(96<<20, sim.ZeroCosts()))
+	res, err := Run(fs, Config{Op: RandWrite, FileSize: 8 << 20, BS: 4096, Threads: 1, FsyncEvery: 1, OpsPerThread: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := res.WriteAmplification()
+	if wa < 1.8 || wa > 2.4 {
+		t.Fatalf("Libnvmmio fsync-1 WA = %.2f, want ~2", wa)
+	}
+}
+
+func TestSequentialWorkersDisjoint(t *testing.T) {
+	fs := ext4.New(nvm.New(96<<20, sim.ZeroCosts()), ext4.DAX)
+	res, err := Run(fs, Config{Op: SeqWrite, FileSize: 4 << 20, BS: 4096, Threads: 4, OpsPerThread: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	fs := ext4.New(nvm.New(32<<20, sim.ZeroCosts()), ext4.DAX)
+	if _, err := Run(fs, Config{Op: SeqWrite, FileSize: 1 << 20, BS: 0}); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := Run(fs, Config{Op: SeqWrite, FileSize: 1024, BS: 4096}); err == nil {
+		t.Fatal("block size beyond file accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		fs := core.MustNew(nvm.New(96<<20, sim.DefaultCosts()), core.DefaultOptions())
+		res, err := Run(fs, Config{Op: RandWrite, FileSize: 8 << 20, BS: 1024, Threads: 1, FsyncEvery: 1, OpsPerThread: 200, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.VirtualNS != b.VirtualNS || a.MediaWriteBytes != b.MediaWriteBytes {
+		t.Fatalf("nondeterministic single-thread run: %d/%d vs %d/%d ns/bytes",
+			a.VirtualNS, a.MediaWriteBytes, b.VirtualNS, b.MediaWriteBytes)
+	}
+}
+
+// TestRampExcludedFromMeasurement: the default ramp phase must not appear
+// in the measured bytes or the media counters.
+func TestRampExcludedFromMeasurement(t *testing.T) {
+	fs := core.MustNew(nvm.New(96<<20, sim.ZeroCosts()), core.DefaultOptions())
+	cfg := Config{Op: SeqWrite, FileSize: 4 << 20, BS: 4096, Threads: 2, OpsPerThread: 100, RampOps: 50, Seed: 9}
+	res, err := Run(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("measured ops = %d, want 200 (ramp leaked in)", res.Ops)
+	}
+	if res.UserWriteBytes != 200*4096 {
+		t.Fatalf("user bytes = %d, want %d", res.UserWriteBytes, 200*4096)
+	}
+	// Media counter was reset at the barrier: it cannot include the ramp's
+	// or the layout's traffic (which exceed the measured window alone).
+	if res.MediaWriteBytes > 3*res.UserWriteBytes {
+		t.Fatalf("media bytes %d include pre-measurement traffic", res.MediaWriteBytes)
+	}
+}
+
+// TestRampDisabled: RampOps < 0 starts measuring immediately.
+func TestRampDisabled(t *testing.T) {
+	fs := ext4.New(nvm.New(32<<20, sim.ZeroCosts()), ext4.DAX)
+	res, err := Run(fs, Config{Op: SeqWrite, FileSize: 2 << 20, BS: 4096, Threads: 1, OpsPerThread: 10, RampOps: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}

@@ -1,0 +1,92 @@
+package libnvmmio
+
+import (
+	"fmt"
+
+	"mgsp/internal/nvm"
+	"mgsp/internal/pmfile"
+	"mgsp/internal/sim"
+)
+
+// Mount rebuilds a Libnvmmio instance from a device image after a crash and
+// applies its epoch-based recovery protocol:
+//
+//   - redo logs stamped with a committed epoch are applied to the file
+//     (finishing any interrupted checkpoint — the operation is idempotent);
+//   - redo logs from an uncommitted epoch are discarded;
+//   - undo logs from an uncommitted epoch are rolled back (restoring the
+//     pre-epoch file contents);
+//   - undo logs from a committed epoch are discarded (their in-place data
+//     was committed).
+//
+// Afterwards every log block is freed: the mounted file system starts with
+// clean logs, holding exactly the state as of the last committed epoch.
+func Mount(ctx *sim.Ctx, dev *nvm.Device) (*FS, error) {
+	prov, err := pmfile.Recover(ctx, dev, MetaBytes(dev.Size()))
+	if err != nil {
+		return nil, err
+	}
+	fs := mkFS(prov)
+
+	// Index files by slot.
+	bySlot := make(map[int]*pmfile.File)
+	for name, pf := range prov.Files() {
+		bySlot[pf.Slot()] = pf
+		f := &file{
+			fs: fs, pf: pf,
+			index: make(map[int64]*blockLog),
+			dirty: make(map[int64]*blockLog),
+		}
+		committed := dev.Load8(fs.epochOff(pf.Slot()))
+		f.epoch.Store(committed + 1)
+		f.size.Store(pf.Size())
+		fs.files[name] = f
+	}
+
+	// Scan the header array for live log blocks.
+	nBlocks := (dev.Size() - fs.dataStart) / blockSize
+	var hdr [headerSize]byte
+	for i := int64(0); i < nBlocks; i++ {
+		hoff := fs.hdrBase + i*headerSize
+		tag := dev.Load8(hoff + hdrTag)
+		ctx.Advance(dev.Costs().IndexStep)
+		if tag&(1<<62) == 0 {
+			continue
+		}
+		dev.Read(ctx, hdr[:], hoff)
+		slot := int(tag >> 48 & 0x3FFF)
+		pg := int64(tag & (1<<48 - 1))
+		mask := dev.Load8(hoff + hdrMask)
+		epochWord := dev.Load8(hoff + hdrEpoch)
+		undo := epochWord&undoFlag != 0
+		epoch := epochWord &^ undoFlag
+		logOff := fs.dataStart + i*blockSize
+
+		pf := bySlot[slot]
+		if pf == nil {
+			// Log block of a removed file; just clear it.
+			dev.Store8(ctx, hoff+hdrTag, 0)
+			continue
+		}
+		committed := dev.Load8(fs.epochOff(slot))
+		if mask != 0 {
+			apply := (!undo && epoch <= committed) || (undo && epoch > committed)
+			if apply {
+				f := fs.files[pf.Name()]
+				if f == nil {
+					return nil, fmt.Errorf("libnvmmio: header references unknown slot %d", slot)
+				}
+				// Growing the file's committed data may require mapping
+				// capacity if the crash interrupted an extension.
+				if err := pf.EnsureCapacity(ctx, (pg+1)*blockSize); err != nil {
+					return nil, err
+				}
+				f.copyUnits(ctx, mask, pf, pg*blockSize, logOff, false)
+			}
+		}
+		dev.Store8(ctx, hoff+hdrMask, 0)
+		dev.Store8(ctx, hoff+hdrTag, 0)
+	}
+	dev.Fence(ctx)
+	return fs, nil
+}

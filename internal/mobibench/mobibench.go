@@ -1,0 +1,106 @@
+// Package mobibench reimplements the SQLite portion of Mobibench as used in
+// the paper's Figure 11: basic insert/update/delete transactions, each an
+// autocommitted statement against one table, measured as transactions per
+// second of virtual time.
+package mobibench
+
+import (
+	"fmt"
+
+	"mgsp/internal/sim"
+	"mgsp/internal/sqlite"
+	"mgsp/internal/vfs"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// Records preloaded before the update/delete phases.
+	Records int
+	// Ops per measured phase.
+	Ops int
+	// ValueSize is the record payload (Mobibench default inserts ~100 B
+	// text columns).
+	ValueSize int
+	Seed      int64
+}
+
+// DefaultConfig mirrors Mobibench defaults scaled for simulation.
+func DefaultConfig() Config {
+	return Config{Records: 2000, Ops: 500, ValueSize: 100, Seed: 42}
+}
+
+// Result reports per-phase transaction rates.
+type Result struct {
+	FS   string
+	Mode sqlite.JournalMode
+
+	InsertTPS float64
+	UpdateTPS float64
+	DeleteTPS float64
+}
+
+// Run executes the three phases against a fresh database on fs.
+func Run(fs vfs.FS, mode sqlite.JournalMode, cfg Config) (Result, error) {
+	if cfg.Ops <= 0 || cfg.Records < cfg.Ops {
+		return Result{}, fmt.Errorf("mobibench: need Records >= Ops > 0")
+	}
+	ctx := sim.NewCtx(0, cfg.Seed)
+	db, err := sqlite.Open(ctx, fs, "mobibench.db", mode)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close(ctx)
+	if err := db.CreateTable(ctx, "tbl"); err != nil {
+		return Result{}, err
+	}
+	res := Result{FS: fs.Name(), Mode: mode}
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("rec%08d", i)) }
+
+	// Preload all but the measured inserts.
+	for i := cfg.Ops; i < cfg.Records; i++ {
+		if err := db.Exec(ctx, func(tx *sqlite.Txn) error {
+			return tx.Insert(ctx, "tbl", key(i), val)
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	phase := func(op func(i int) error) (float64, error) {
+		t0 := ctx.Now()
+		for i := 0; i < cfg.Ops; i++ {
+			if err := op(i); err != nil {
+				return 0, err
+			}
+		}
+		dt := ctx.Now() - t0
+		if dt == 0 {
+			return 0, nil
+		}
+		return float64(cfg.Ops) / (float64(dt) / 1e9), nil
+	}
+
+	if res.InsertTPS, err = phase(func(i int) error {
+		return db.Exec(ctx, func(tx *sqlite.Txn) error { return tx.Insert(ctx, "tbl", key(i), val) })
+	}); err != nil {
+		return Result{}, err
+	}
+	if res.UpdateTPS, err = phase(func(i int) error {
+		k := key(ctx.Rand.Intn(cfg.Records))
+		return db.Exec(ctx, func(tx *sqlite.Txn) error { return tx.Insert(ctx, "tbl", k, val) })
+	}); err != nil {
+		return Result{}, err
+	}
+	if res.DeleteTPS, err = phase(func(i int) error {
+		return db.Exec(ctx, func(tx *sqlite.Txn) error {
+			_, err := tx.Delete(ctx, "tbl", key(i))
+			return err
+		})
+	}); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package mobibench
+
+import (
+	"testing"
+
+	"mgsp/internal/core"
+	"mgsp/internal/ext4"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/sqlite"
+)
+
+func TestRunBothModes(t *testing.T) {
+	cfg := Config{Records: 300, Ops: 100, ValueSize: 100, Seed: 1}
+	for _, mode := range []sqlite.JournalMode{sqlite.WAL, sqlite.Off} {
+		fs := ext4.New(nvm.New(96<<20, sim.DefaultCosts()), ext4.DAX)
+		res, err := Run(fs, mode, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.InsertTPS <= 0 || res.UpdateTPS <= 0 || res.DeleteTPS <= 0 {
+			t.Fatalf("%v: zero TPS: %+v", mode, res)
+		}
+	}
+}
+
+func TestRunOnMGSP(t *testing.T) {
+	cfg := Config{Records: 300, Ops: 100, ValueSize: 100, Seed: 1}
+	fs := core.MustNew(nvm.New(96<<20, sim.DefaultCosts()), core.DefaultOptions())
+	res, err := Run(fs, sqlite.WAL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InsertTPS <= 0 {
+		t.Fatal("no insert throughput")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	fs := ext4.New(nvm.New(32<<20, sim.ZeroCosts()), ext4.DAX)
+	if _, err := Run(fs, sqlite.WAL, Config{Records: 10, Ops: 100}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package nova
+
+import (
+	"mgsp/internal/sim"
+)
+
+// Log garbage collection. NOVA compacts an inode's log when dead entries
+// (superseded writes) accumulate: the live state is rewritten as a dense
+// fresh chain and the inode's packed logRef word is switched to it with one
+// 8-byte atomic store — the same commit primitive ordinary appends use, so
+// a crash at any point leaves either the old chain or the new one, both
+// decoding to the same radix state. Without GC, a long-lived file's log
+// grows without bound (the FIO runs overwrite the same blocks thousands of
+// times).
+
+// gcLogPages triggers compaction once the chain exceeds this many pages
+// while at least half the entries are dead.
+const gcLogPages = 16
+
+// maybeGC compacts the log when it has grown large and mostly dead. The
+// caller holds the inode write lock.
+func (ino *inode) maybeGC(ctx *sim.Ctx) error {
+	if ino.logPages < gcLogPages {
+		return nil
+	}
+	live := int64(len(ino.pages)) + 1 // worst case: one entry per radix page + size entry
+	capacity := ino.logPages * int64(entriesPerPage)
+	if live*2 > capacity {
+		return nil
+	}
+	return ino.compactLog(ctx)
+}
+
+// compactLog rewrites the live state (radix contents + size) as one dense
+// chain and atomically switches to it.
+func (ino *inode) compactLog(ctx *sim.Ctx) error {
+	fs := ino.fs
+	newHead, err := fs.alloc.Alloc(ctx)
+	if err != nil {
+		return err
+	}
+	oldHead, oldTail := ino.logHead, ino.logTail
+
+	cur := newHead
+	pages := int64(1)
+	emit := func(e logEntry) error {
+		if cur%pageSize == nextPtrOffset {
+			np, err := fs.alloc.Alloc(ctx)
+			if err != nil {
+				return err
+			}
+			fs.dev.Store8(ctx, cur, uint64(np))
+			cur = np
+			pages++
+		}
+		buf := e.encode()
+		fs.dev.WriteNT(ctx, buf[:], cur)
+		cur += entrySize
+		return nil
+	}
+	// Coalesce physically contiguous page runs into single write entries.
+	pgs := make([]int64, 0, len(ino.pages))
+	for pg := range ino.pages {
+		pgs = append(pgs, pg)
+	}
+	sortInt64s(pgs)
+	for i := 0; i < len(pgs); {
+		start := i
+		for i+1 < len(pgs) &&
+			pgs[i+1] == pgs[i]+1 &&
+			ino.pages[pgs[i+1]] == ino.pages[pgs[i]]+pageSize {
+			i++
+		}
+		run := pgs[start : i+1]
+		if err := emit(logEntry{
+			kind:   entryTypeWrite,
+			pgoff:  run[0],
+			npages: int64(len(run)),
+			block:  ino.pages[run[0]],
+		}); err != nil {
+			return err
+		}
+		i++
+	}
+	if err := emit(logEntry{kind: entryTypeSetLen, newSize: ino.size}); err != nil {
+		return err
+	}
+	fs.dev.Fence(ctx)
+
+	// Atomic switch: one Store8 of the packed (head, tail) reference.
+	ino.logHead, ino.logTail, ino.logPages = newHead, cur, pages
+	ino.commitTail(ctx)
+
+	// Reclaim the old chain; the tail page is the one containing oldTail
+	// (or equal to it when the log ended exactly at a page boundary).
+	for pg := oldHead; ; {
+		last := oldTail >= pg && oldTail <= pg+nextPtrOffset
+		var next int64
+		if !last {
+			next = int64(fs.dev.Load8(pg + nextPtrOffset))
+		}
+		fs.alloc.Free(ctx, pg, 1)
+		if last || next == 0 {
+			break
+		}
+		pg = next
+	}
+	return nil
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

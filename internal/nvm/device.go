@@ -1,0 +1,414 @@
+// Package nvm simulates a byte-addressable non-volatile memory device (Intel
+// Optane DC PMem in the paper's testbed) with the properties that matter for
+// crash-consistency research:
+//
+//   - a volatile CPU-cache overlay: temporal stores (Write) are visible to
+//     readers immediately but are lost on crash until flushed;
+//   - explicit persistence: Flush moves cache lines to the durable image,
+//     WriteNT models non-temporal stores that bypass the cache, Store8 models
+//     the 8-byte atomic persistent stores that designs like MGSP and BPFS
+//     build commit protocols from;
+//   - media accounting: every byte that reaches the durable image is counted,
+//     which is how the write-amplification experiment (Table II) is measured;
+//   - deterministic crash injection: the device can be armed to fail after N
+//     media operations, tearing the in-flight operation at 8-byte granularity,
+//     after which only the durable image survives.
+//
+// All operations charge virtual time to the caller's sim.Ctx using the cost
+// model in internal/sim and reserve bandwidth on a shared timeline, so the
+// device is also the performance model shared by every simulated file system.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"mgsp/internal/sim"
+)
+
+// LineSize is the CPU cache-line size in bytes.
+const LineSize = 64
+
+// ErrCrashed is the panic value raised when the device hits an armed fail
+// point, and the error returned by operations on a crashed device.
+var ErrCrashed = errors.New("nvm: device crashed")
+
+// Stats aggregates media-level counters. All fields are monotonically
+// increasing and safe to read concurrently.
+type Stats struct {
+	// MediaWriteBytes counts bytes that reached the durable image (the
+	// denominator of Table II is the user bytes; this is the numerator).
+	MediaWriteBytes atomic.Int64
+	// MediaReadBytes counts bytes read through the device interface.
+	MediaReadBytes atomic.Int64
+	// Flushes counts Flush calls that persisted at least one line.
+	Flushes atomic.Int64
+	// Fences counts Fence calls.
+	Fences atomic.Int64
+	// MediaOps counts persistence-affecting operations (used by the crash
+	// injector's fail-after counter).
+	MediaOps atomic.Int64
+}
+
+// Device is a simulated NVM DIMM set. It is safe for concurrent use by
+// multiple workers as long as they do not write overlapping byte ranges
+// concurrently without synchronization (the same contract real hardware
+// gives software).
+type Device struct {
+	mem     []byte          // current contents (volatile view: caches + media)
+	durable []byte          // what survives a crash
+	dirty   []atomic.Uint64 // one bit per cache line: mem differs from durable
+
+	costs    sim.Costs
+	timeline *sim.Timeline
+
+	stats Stats
+
+	// Crash injection.
+	failAfter atomic.Int64 // remaining media ops before crash; <0 = disarmed
+	crashed   atomic.Bool
+	crashRand *rand.Rand
+	crashMu   sync.Mutex
+}
+
+// New creates a device of the given size (rounded up to a cache line) with
+// the supplied cost model.
+func New(size int64, costs sim.Costs) *Device {
+	if size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	size = (size + LineSize - 1) / LineSize * LineSize
+	ch := costs.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	d := &Device{
+		mem:      make([]byte, size),
+		durable:  make([]byte, size),
+		dirty:    make([]atomic.Uint64, (size/LineSize+63)/64),
+		costs:    costs,
+		timeline: sim.NewTimeline(ch),
+	}
+	d.failAfter.Store(-1)
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.mem)) }
+
+// Stats returns the device's media counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// Costs returns the device's cost model.
+func (d *Device) Costs() *sim.Costs { return &d.costs }
+
+// Timeline returns the shared bandwidth timeline (exposed so kernel-path
+// simulations can charge DMA-like transfers against the same bandwidth).
+func (d *Device) Timeline() *sim.Timeline { return d.timeline }
+
+func (d *Device) check(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(d.mem)) {
+		panic(fmt.Sprintf("nvm: out of range access off=%d len=%d size=%d", off, n, len(d.mem)))
+	}
+	if d.crashed.Load() {
+		panic(ErrCrashed)
+	}
+}
+
+// Read copies n=len(buf) bytes at off into buf, charging read latency and
+// bandwidth. Reads observe the volatile view (caches included), like loads on
+// real hardware.
+func (d *Device) Read(ctx *sim.Ctx, buf []byte, off int64) {
+	d.check(off, len(buf))
+	copy(buf, d.mem[off:off+int64(len(buf))])
+	d.stats.MediaReadBytes.Add(int64(len(buf)))
+	ctx.Advance(d.costs.NVMReadLat)
+	d.timeline.Reserve(ctx, int64(float64(len(buf))*d.costs.NVMReadPerByte))
+}
+
+// Write performs a temporal store: data becomes visible to readers
+// immediately but is volatile until the covering lines are flushed. The cost
+// charged here is the store cost; media bandwidth is charged at Flush time.
+func (d *Device) Write(ctx *sim.Ctx, data []byte, off int64) {
+	d.check(off, len(data))
+	copy(d.mem[off:off+int64(len(data))], data)
+	d.markDirty(off, len(data))
+	ctx.Advance(d.costs.DRAMCopyCost(len(data)))
+}
+
+// WriteNT performs a non-temporal store: data is written to the durable image
+// directly (the paper's PMDK path uses ntstore + fence; with ADR, stores that
+// reach the write-pending queue are in the persistence domain). Media write
+// bandwidth is charged immediately.
+func (d *Device) WriteNT(ctx *sim.Ctx, data []byte, off int64) {
+	d.check(off, len(data))
+	d.hitFailPoint(func(rng *rand.Rand) {
+		// Tear the write at 8-byte granularity: persist a random prefix.
+		k := rng.Intn(len(data)/8+1) * 8
+		if k > len(data) {
+			k = len(data)
+		}
+		copy(d.mem[off:off+int64(k)], data[:k])
+		copy(d.durable[off:off+int64(k)], data[:k])
+	})
+	copy(d.mem[off:off+int64(len(data))], data)
+	copy(d.durable[off:off+int64(len(data))], data)
+	d.clearDirty(off, len(data))
+	d.stats.MediaWriteBytes.Add(int64(len(data)))
+	d.stats.MediaOps.Add(1)
+	ctx.Advance(d.costs.NVMWriteLat)
+	d.timeline.Reserve(ctx, d.costs.WriteCost(len(data))-d.costs.NVMWriteLat)
+}
+
+// Flush persists all dirty cache lines intersecting [off, off+n), charging
+// clwb issue costs and media write bandwidth for the lines actually written.
+// It returns the number of bytes persisted.
+func (d *Device) Flush(ctx *sim.Ctx, off int64, n int) int {
+	d.check(off, n)
+	if n == 0 {
+		return 0
+	}
+	first := off / LineSize
+	last := (off + int64(n) - 1) / LineSize
+	var lines []int64
+	for l := first; l <= last; l++ {
+		if d.testDirty(l) {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) == 0 {
+		return 0
+	}
+	d.hitFailPoint(func(rng *rand.Rand) {
+		// Persist a random prefix of the lines; the last persisted line may
+		// itself be torn at 8-byte granularity.
+		k := rng.Intn(len(lines) + 1)
+		for i := 0; i < k; i++ {
+			d.persistLine(lines[i], LineSize)
+		}
+		if k < len(lines) {
+			d.persistLine(lines[k], rng.Intn(LineSize/8+1)*8)
+		}
+	})
+	for _, l := range lines {
+		d.persistLine(l, LineSize)
+		d.clearDirtyLine(l)
+	}
+	nb := len(lines) * LineSize
+	d.stats.MediaWriteBytes.Add(int64(nb))
+	d.stats.Flushes.Add(1)
+	d.stats.MediaOps.Add(1)
+	ctx.Advance(int64(len(lines)) * d.costs.CacheLineFlush)
+	d.timeline.Reserve(ctx, d.costs.WriteCost(nb)-d.costs.NVMWriteLat)
+	return nb
+}
+
+func (d *Device) persistLine(line int64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	off := line * LineSize
+	copy(d.durable[off:off+int64(bytes)], d.mem[off:off+int64(bytes)])
+}
+
+// Fence models an sfence: it orders prior flushes/non-temporal stores and
+// charges the drain cost. In this model Flush and WriteNT persist eagerly, so
+// Fence affects timing only; "flushed but not fenced" anomalies are outside
+// the simulated fault model (see DESIGN.md).
+func (d *Device) Fence(ctx *sim.Ctx) {
+	if d.crashed.Load() {
+		panic(ErrCrashed)
+	}
+	d.stats.Fences.Add(1)
+	ctx.Advance(d.costs.Fence)
+}
+
+// Persist is the common clwb-loop + sfence sequence (PMDK's pmem_persist).
+func (d *Device) Persist(ctx *sim.Ctx, off int64, n int) {
+	d.Flush(ctx, off, n)
+	d.Fence(ctx)
+}
+
+// Load8 atomically reads the 8-byte word at off (must be 8-byte aligned).
+// It charges no time; callers model their own access costs.
+func (d *Device) Load8(off int64) uint64 {
+	d.check8(off)
+	return (*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).Load()
+}
+
+// Store8 atomically writes an 8-byte word and persists it immediately
+// (ntstore of an aligned quadword + fence). This is the primitive that
+// 8-byte-atomic commit protocols rely on.
+func (d *Device) Store8(ctx *sim.Ctx, off int64, v uint64) {
+	d.check8(off)
+	d.hitFailPoint(func(rng *rand.Rand) {
+		if rng.Intn(2) == 1 { // the store may or may not have reached media
+			(*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).Store(v)
+			(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(v)
+		}
+	})
+	(*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).Store(v)
+	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(v)
+	d.stats.MediaWriteBytes.Add(8)
+	d.stats.MediaOps.Add(1)
+	ctx.Advance(d.costs.NVMWriteLat)
+}
+
+// CAS8 performs an atomic compare-and-swap on the 8-byte word at off,
+// persisting the new value on success.
+func (d *Device) CAS8(ctx *sim.Ctx, off int64, old, new uint64) bool {
+	d.check8(off)
+	ctx.Advance(d.costs.Atomic)
+	if !(*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).CompareAndSwap(old, new) {
+		return false
+	}
+	d.hitFailPoint(func(rng *rand.Rand) {
+		if rng.Intn(2) == 1 {
+			(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(new)
+		}
+	})
+	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(new)
+	d.stats.MediaWriteBytes.Add(8)
+	d.stats.MediaOps.Add(1)
+	ctx.Advance(d.costs.NVMWriteLat)
+	return true
+}
+
+func (d *Device) check8(off int64) {
+	if off%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned 8-byte access at %d", off))
+	}
+	d.check(off, 8)
+}
+
+// ---- dirty-line bitmap ----
+
+func (d *Device) markDirty(off int64, n int) {
+	first := off / LineSize
+	last := (off + int64(n) - 1) / LineSize
+	for l := first; l <= last; l++ {
+		w := &d.dirty[l/64]
+		bit := uint64(1) << uint(l%64)
+		for {
+			old := w.Load()
+			if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+				break
+			}
+		}
+	}
+}
+
+func (d *Device) clearDirty(off int64, n int) {
+	first := off / LineSize
+	last := (off + int64(n) - 1) / LineSize
+	for l := first; l <= last; l++ {
+		d.clearDirtyLine(l)
+	}
+}
+
+func (d *Device) clearDirtyLine(l int64) {
+	w := &d.dirty[l/64]
+	bit := uint64(1) << uint(l%64)
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+func (d *Device) testDirty(l int64) bool {
+	return d.dirty[l/64].Load()&(uint64(1)<<uint(l%64)) != 0
+}
+
+// ---- crash injection ----
+
+// ArmCrash arms the fail point: after n more media operations the device
+// crashes, tearing the in-flight operation using a PRNG seeded with seed.
+func (d *Device) ArmCrash(n int64, seed int64) {
+	d.crashMu.Lock()
+	d.crashRand = rand.New(rand.NewSource(seed))
+	d.crashMu.Unlock()
+	d.failAfter.Store(n)
+}
+
+// DisarmCrash disables the fail point.
+func (d *Device) DisarmCrash() { d.failAfter.Store(-1) }
+
+func (d *Device) hitFailPoint(tear func(*rand.Rand)) {
+	if d.failAfter.Load() < 0 {
+		return
+	}
+	if d.failAfter.Add(-1) != -1 {
+		return
+	}
+	d.crashMu.Lock()
+	rng := d.crashRand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	tear(rng)
+	d.crashMu.Unlock()
+	d.crashed.Store(true)
+	panic(ErrCrashed)
+}
+
+// Crashed reports whether the device has hit its fail point.
+func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// Recover simulates machine restart: the volatile view is discarded and
+// reset to the durable image, and the device becomes usable again. The
+// caller is responsible for discarding all software state (file system
+// objects, locks) built on the previous incarnation.
+func (d *Device) Recover() {
+	copy(d.mem, d.durable)
+	for i := range d.dirty {
+		d.dirty[i].Store(0)
+	}
+	d.crashed.Store(false)
+	d.failAfter.Store(-1)
+}
+
+// DropVolatile discards unflushed data without marking the device crashed
+// (used by tests that want to inspect "what would survive" repeatedly).
+func (d *Device) DropVolatile() {
+	copy(d.mem, d.durable)
+	for i := range d.dirty {
+		d.dirty[i].Store(0)
+	}
+}
+
+// Inspect returns a copy of n bytes of the volatile view at off without
+// charging any virtual time (verification helper).
+func (d *Device) Inspect(off int64, n int) []byte {
+	if off < 0 || off+int64(n) > int64(len(d.mem)) {
+		panic("nvm: inspect out of range")
+	}
+	out := make([]byte, n)
+	copy(out, d.mem[off:off+int64(n)])
+	return out
+}
+
+// InspectDurable returns a copy of n bytes of the durable image at off
+// without charging any virtual time.
+func (d *Device) InspectDurable(off int64, n int) []byte {
+	if off < 0 || off+int64(n) > int64(len(d.durable)) {
+		panic("nvm: inspect out of range")
+	}
+	out := make([]byte, n)
+	copy(out, d.durable[off:off+int64(n)])
+	return out
+}
+
+// ResetStats zeroes the media counters (between benchmark phases).
+func (d *Device) ResetStats() {
+	d.stats.MediaWriteBytes.Store(0)
+	d.stats.MediaReadBytes.Store(0)
+	d.stats.Flushes.Store(0)
+	d.stats.Fences.Store(0)
+	d.stats.MediaOps.Store(0)
+}

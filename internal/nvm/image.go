@@ -1,0 +1,52 @@
+package nvm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// imageMagic identifies a serialized device image.
+const imageMagic = 0x4d475350_4e564d31 // "MGSPNVM1"
+
+// Save writes the device's durable image to w (what would survive a crash;
+// the volatile overlay is deliberately not included). The format is a
+// 16-byte header (magic, size) followed by the raw bytes.
+func (d *Device) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(d.durable)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(d.durable); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadImage reads a device image saved with Save, constructing the device
+// via mk and returning it in its post-crash state (volatile view equal to
+// the durable image).
+func LoadImage(r io.Reader, mk func(size int64) *Device) (*Device, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nvm: short image header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("nvm: not a device image")
+	}
+	size := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	d := mk(size)
+	if d.Size() < size {
+		return nil, fmt.Errorf("nvm: image size %d exceeds device %d", size, d.Size())
+	}
+	if _, err := io.ReadFull(br, d.durable[:size]); err != nil {
+		return nil, fmt.Errorf("nvm: short image body: %w", err)
+	}
+	copy(d.mem, d.durable)
+	return d, nil
+}

@@ -1,0 +1,40 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+
+	"mgsp/internal/sim"
+)
+
+func TestImageSaveLoadRoundTrip(t *testing.T) {
+	d, ctx := newTestDevice(1 << 20)
+	d.WriteNT(ctx, bytes.Repeat([]byte{0x5E}, 8192), 4096)
+	d.Write(ctx, []byte("volatile"), 0) // unflushed: must not survive
+
+	var img bytes.Buffer
+	if err := d.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadImage(&img, func(size int64) *Device {
+		return New(size, sim.ZeroCosts())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.Inspect(4096, 8192)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x5E}, 8192)) {
+		t.Fatal("durable data lost across save/load")
+	}
+	if bytes.Equal(d2.Inspect(0, 8), []byte("volatile")) {
+		t.Fatal("volatile data leaked into the image")
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage(bytes.NewReader([]byte("not an image at all")), func(size int64) *Device {
+		return New(size, sim.ZeroCosts())
+	}); err == nil {
+		t.Fatal("garbage accepted as image")
+	}
+}

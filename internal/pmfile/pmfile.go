@@ -1,0 +1,437 @@
+// Package pmfile models what a user-space NVM library (Libnvmmio, MGSP) gets
+// from its underlying DAX file system: files that can be created, sized, and
+// memory-mapped, after which loads and stores hit persistent memory directly
+// with no kernel involvement. In the paper both libraries sit on Ext4-DAX and
+// use PMDK for persistence; here the Provider charges kernel costs only for
+// the control-plane operations (create/open/extend = syscalls, first-touch
+// page faults) while the data plane (DirectRead/DirectWrite/Persist) costs
+// only media time — the asymmetry that makes user-space MMIO fast.
+//
+// The Provider also persists a name table (file slots with extent lists and
+// sizes) and hands out anonymous blocks for the libraries' logs, and can
+// rebuild itself from the device image after a crash.
+package pmfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"mgsp/internal/alloc"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+const (
+	// PageSize is the mapping granularity.
+	PageSize = 4096
+
+	slotSize    = 512
+	maxFiles    = 256
+	tableSize   = maxFiles * slotSize
+	maxExtents  = 26
+	extentBytes = 16
+
+	slotFlags  = 0
+	slotSizeOf = 8
+	slotNExt   = 16
+	slotName   = 24  // len(8) + 56 bytes
+	slotExt    = 88  // extent array start: 26 * 16 = 416 bytes
+	firstChunk = 256 // pages in the first extent (1 MiB); doubles each time
+)
+
+// Provider is the per-device file/space service for user-space libraries.
+type Provider struct {
+	dev   *nvm.Device
+	costs *sim.Costs
+	alloc *alloc.Allocator
+
+	metaStart int64 // library-private metadata region
+	metaSize  int64
+
+	mu    sim.Mutex
+	files map[string]*File
+	slots []bool
+}
+
+// New formats a provider over the device, reserving metaBytes of
+// library-private metadata space (returned by MetaRegion).
+func New(dev *nvm.Device, metaBytes int64) *Provider {
+	metaBytes = (metaBytes + PageSize - 1) / PageSize * PageSize
+	dataStart := int64(tableSize) + metaBytes
+	if dataStart+PageSize > dev.Size() {
+		panic("pmfile: device too small")
+	}
+	return &Provider{
+		dev:       dev,
+		costs:     dev.Costs(),
+		alloc:     alloc.New(dataStart, dev.Size()-dataStart, PageSize, dev.Costs()),
+		metaStart: tableSize,
+		metaSize:  metaBytes,
+		files:     make(map[string]*File),
+		slots:     make([]bool, maxFiles),
+	}
+}
+
+// Device returns the underlying device.
+func (p *Provider) Device() *nvm.Device { return p.dev }
+
+// Costs returns the cost model.
+func (p *Provider) Costs() *sim.Costs { return p.costs }
+
+// Alloc returns the block allocator for anonymous (log) blocks.
+func (p *Provider) Alloc() *alloc.Allocator { return p.alloc }
+
+// MetaRegion returns the library-private metadata region [start, start+size).
+func (p *Provider) MetaRegion() (start, size int64) { return p.metaStart, p.metaSize }
+
+// DataStart returns the first device offset managed by the allocator (used
+// to index per-block metadata arrays).
+func (p *Provider) DataStart() int64 { return p.metaStart + p.metaSize }
+
+func (p *Provider) slotOff(slot int) int64 { return int64(slot) * slotSize }
+
+// Create creates (or truncates to zero) a file. It costs an open syscall and
+// a small metadata persist, like O_CREAT on the underlying DAX file system.
+func (p *Provider) Create(ctx *sim.Ctx, name string) (*File, error) {
+	ctx.Advance(p.costs.Syscall + p.costs.VFSOp)
+	p.mu.Lock(ctx)
+	defer p.mu.Unlock(ctx)
+	if f := p.files[name]; f != nil {
+		f.truncateToZero(ctx)
+		return f, nil
+	}
+	if len(name) > slotSize-slotName-8 {
+		return nil, fmt.Errorf("pmfile: name too long: %q", name)
+	}
+	slot := -1
+	for i, used := range p.slots {
+		if !used {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, fmt.Errorf("pmfile: file table full")
+	}
+	f := p.newFile(name, slot)
+	p.slots[slot] = true
+	p.files[name] = f
+	f.persistSlot(ctx)
+	return f, nil
+}
+
+// Open returns the named file.
+func (p *Provider) Open(ctx *sim.Ctx, name string) (*File, error) {
+	ctx.Advance(p.costs.Syscall + p.costs.VFSOp)
+	p.mu.Lock(ctx)
+	defer p.mu.Unlock(ctx)
+	f := p.files[name]
+	if f == nil {
+		return nil, vfs.ErrNotExist
+	}
+	return f, nil
+}
+
+// Remove deletes the named file and frees its extents.
+func (p *Provider) Remove(ctx *sim.Ctx, name string) error {
+	ctx.Advance(p.costs.Syscall + p.costs.VFSOp)
+	p.mu.Lock(ctx)
+	defer p.mu.Unlock(ctx)
+	f := p.files[name]
+	if f == nil {
+		return vfs.ErrNotExist
+	}
+	delete(p.files, name)
+	p.slots[f.slot] = false
+	p.dev.Store8(ctx, p.slotOff(f.slot)+slotFlags, 0)
+	for _, e := range f.extentList() {
+		p.alloc.Free(ctx, e.phys, e.pages)
+	}
+	f.extents.Store(nil)
+	f.capacity.Store(0)
+	return nil
+}
+
+// Files returns the live files by name (for recovery passes).
+func (p *Provider) Files() map[string]*File { return p.files }
+
+// extent maps logical pages to a physical run.
+type extent struct {
+	phys  int64
+	pages int64
+}
+
+// File is a created pm file; the zero of its data is all zeros (unwritten
+// extents read as zeros, as on ext4).
+type File struct {
+	p    *Provider
+	name string
+	slot int
+
+	mu       sim.Mutex    // extent growth and slot persistence
+	size     atomic.Int64 // persisted in the slot (Store8)
+	capacity atomic.Int64
+	extents  atomic.Pointer[[]extent] // copy-on-write; stored before capacity
+
+	// Volatile page bitmaps, one bit per page, sized for the whole provider
+	// data region up front so concurrent extent growth never reallocates
+	// them under readers.
+	written []atomic.Uint64 // pages ever stored to
+	faulted []atomic.Uint64 // pages touched through the mapping
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Slot returns the persistent slot index (libraries store it in their logs).
+func (f *File) Slot() int { return f.slot }
+
+// Size returns the persisted file size.
+func (f *File) Size() int64 { return f.size.Load() }
+
+// Capacity returns the allocated capacity in bytes.
+func (f *File) Capacity() int64 { return f.capacity.Load() }
+
+func (f *File) extentList() []extent {
+	if p := f.extents.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetSize persists a new file size with one 8-byte atomic store.
+func (f *File) SetSize(ctx *sim.Ctx, size int64) {
+	f.size.Store(size)
+	f.p.dev.Store8(ctx, f.p.slotOff(f.slot)+slotSizeOf, uint64(size))
+}
+
+// newFile builds a File with page bitmaps covering the whole data region.
+func (p *Provider) newFile(name string, slot int) *File {
+	words := (p.Device().Size()/PageSize + 63) / 64
+	return &File{
+		p: p, name: name, slot: slot,
+		written: make([]atomic.Uint64, words),
+		faulted: make([]atomic.Uint64, words),
+	}
+}
+
+func (f *File) truncateToZero(ctx *sim.Ctx) {
+	f.mu.Lock(ctx)
+	defer f.mu.Unlock(ctx)
+	for i := range f.written {
+		f.written[i].Store(0)
+	}
+	f.SetSize(ctx, 0)
+}
+
+// persistSlot rewrites the file's slot and fences. Extent appends write the
+// new extent bytes before the count, so a torn update is invisible.
+func (f *File) persistSlot(ctx *sim.Ctx) {
+	exts := f.extentList()
+	var buf [slotSize]byte
+	binary.LittleEndian.PutUint64(buf[slotFlags:], 1)
+	binary.LittleEndian.PutUint64(buf[slotSizeOf:], uint64(f.size.Load()))
+	binary.LittleEndian.PutUint64(buf[slotNExt:], uint64(len(exts)))
+	binary.LittleEndian.PutUint64(buf[slotName:], uint64(len(f.name)))
+	copy(buf[slotName+8:], f.name)
+	for i, e := range exts {
+		binary.LittleEndian.PutUint64(buf[slotExt+i*extentBytes:], uint64(e.phys))
+		binary.LittleEndian.PutUint64(buf[slotExt+i*extentBytes+8:], uint64(e.pages))
+	}
+	f.p.dev.WriteNT(ctx, buf[:], f.p.slotOff(f.slot))
+	f.p.dev.Fence(ctx)
+}
+
+// EnsureCapacity extends the file (fallocate + mremap on the real system) so
+// that at least n bytes are mapped. Extents grow geometrically, so a file
+// performs O(log size) extensions over its lifetime.
+func (f *File) EnsureCapacity(ctx *sim.Ctx, n int64) error {
+	if n <= f.capacity.Load() {
+		return nil
+	}
+	f.mu.Lock(ctx)
+	defer f.mu.Unlock(ctx)
+	for f.capacity.Load() < n {
+		ctx.Advance(f.p.costs.Syscall + f.p.costs.VFSOp) // fallocate
+		exts := f.extentList()
+		if len(exts) >= maxExtents {
+			return fmt.Errorf("pmfile: %q exceeded %d extents", f.name, maxExtents)
+		}
+		pages := int64(firstChunk) << uint(len(exts))
+		if want := (n - f.capacity.Load() + PageSize - 1) / PageSize; pages < want {
+			pages = want
+		}
+		phys, err := f.p.alloc.AllocContig(ctx, pages)
+		if err != nil {
+			// Retry with the exact requirement before giving up.
+			pages = (n - f.capacity.Load() + PageSize - 1) / PageSize
+			if phys, err = f.p.alloc.AllocContig(ctx, pages); err != nil {
+				return err
+			}
+		}
+		next := make([]extent, len(exts)+1)
+		copy(next, exts)
+		next[len(exts)] = extent{phys: phys, pages: pages}
+		f.extents.Store(&next) // publish the extent list before the capacity
+		f.capacity.Add(pages * PageSize)
+		f.persistSlot(ctx)
+	}
+	return nil
+}
+
+// phys translates a logical offset to its device offset and the bytes
+// remaining in the extent.
+func (f *File) phys(off int64) (int64, int64) {
+	pg := off / PageSize
+	for _, e := range f.extentList() {
+		if pg < e.pages {
+			return e.phys + pg*PageSize + off%PageSize, (e.pages-pg)*PageSize - off%PageSize
+		}
+		pg -= e.pages
+	}
+	panic(fmt.Sprintf("pmfile: offset %d beyond capacity %d of %q", off, f.capacity.Load(), f.name))
+}
+
+// faultSpan is the DAX mapping fault granularity: Ext4-DAX and the
+// user-space libraries map PMem with 2 MiB PMD entries, so one minor fault
+// covers 512 base pages.
+const faultSpan = 2 << 20
+
+// fault charges first-touch mapping faults for [off, off+n).
+func (f *File) fault(ctx *sim.Ctx, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	for c := off / faultSpan; c <= (off+n-1)/faultSpan; c++ {
+		if setBit(f.faulted, c) {
+			ctx.Advance(f.p.costs.PageFault)
+		}
+	}
+}
+
+// markWritten records which pages have ever been stored to; reads of
+// untouched pages return zeros without touching media (unwritten extents).
+func (f *File) markWritten(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	for pg := off / PageSize; pg <= (off+n-1)/PageSize; pg++ {
+		setBit(f.written, pg)
+	}
+}
+
+func (f *File) isWritten(pg int64) bool {
+	return f.written[pg/64].Load()&(1<<uint(pg%64)) != 0
+}
+
+// MarkUnwritten clears the written bits for every page at or after
+// firstPage — the moral equivalent of punching a hole / deallocating blocks
+// on a shrinking truncate, after which those pages read as zeros.
+func (f *File) MarkUnwritten(firstPage int64) {
+	for pg := firstPage; pg < f.capacity.Load()/PageSize; pg++ {
+		w := &f.written[pg/64]
+		bit := uint64(1) << uint(pg%64)
+		for {
+			old := w.Load()
+			if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+				break
+			}
+		}
+	}
+}
+
+// setBit sets bit pg and reports whether it was previously clear.
+func setBit(bm []atomic.Uint64, pg int64) bool {
+	w := &bm[pg/64]
+	bit := uint64(1) << uint(pg%64)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// DirectWrite stores p at logical offset off through the mapping with
+// non-temporal stores (PMDK pmem_memcpy). The caller must have ensured
+// capacity. No kernel cost is charged — this is the MMIO fast path.
+func (f *File) DirectWrite(ctx *sim.Ctx, p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	if off+int64(len(p)) > f.capacity.Load() {
+		panic(fmt.Sprintf("pmfile: write beyond capacity of %q", f.name))
+	}
+	f.fault(ctx, off, int64(len(p)))
+	rem := p
+	for len(rem) > 0 {
+		dst, span := f.phys(off)
+		n := int64(len(rem))
+		if n > span {
+			n = span
+		}
+		f.p.dev.WriteNT(ctx, rem[:n], dst)
+		rem = rem[n:]
+		off += n
+	}
+	f.markWritten(off-int64(len(p)), int64(len(p)))
+}
+
+// DirectRead loads into p from logical offset off. Unwritten pages read as
+// zeros without media access.
+func (f *File) DirectRead(ctx *sim.Ctx, p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	if off+int64(len(p)) > f.capacity.Load() {
+		panic(fmt.Sprintf("pmfile: read beyond capacity of %q (off=%d len=%d cap=%d)", f.name, off, len(p), f.capacity.Load()))
+	}
+	f.fault(ctx, off, int64(len(p)))
+	read := int64(0)
+	total := int64(len(p))
+	for read < total {
+		pos := off + read
+		pg := pos / PageSize
+		written := f.isWritten(pg)
+		// Coalesce the run of pages with the same written-state (loads
+		// through the mapping stream; only extent boundaries split reads).
+		chunk := PageSize - pos%PageSize
+		for chunk < total-read {
+			npg := (pos + chunk) / PageSize
+			if f.isWritten(npg) != written {
+				break
+			}
+			chunk += PageSize
+		}
+		if chunk > total-read {
+			chunk = total - read
+		}
+		if written {
+			for chunk > 0 {
+				src, span := f.phys(pos)
+				n := chunk
+				if n > span {
+					n = span
+				}
+				f.p.dev.Read(ctx, p[read:read+n], src)
+				read += n
+				pos += n
+				chunk -= n
+			}
+			continue
+		}
+		for i := read; i < read+chunk; i++ {
+			p[i] = 0
+		}
+		ctx.Advance(f.p.costs.DRAMLat)
+		read += chunk
+	}
+}
+
+// Fence orders prior stores (sfence).
+func (f *File) Fence(ctx *sim.Ctx) { f.p.dev.Fence(ctx) }

@@ -1,0 +1,68 @@
+package pmfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mgsp/internal/alloc"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// Recover rebuilds a Provider from the persistent image on dev after a
+// crash: the name table is scanned, file extents are re-registered with the
+// volatile allocator, and pages within each file's persisted size are marked
+// written. The calling library must then mark its own anonymous (log) blocks
+// via Alloc().MarkAllocated before allocating anything new.
+func Recover(ctx *sim.Ctx, dev *nvm.Device, metaBytes int64) (*Provider, error) {
+	metaBytes = (metaBytes + PageSize - 1) / PageSize * PageSize
+	dataStart := int64(tableSize) + metaBytes
+	p := &Provider{
+		dev:       dev,
+		costs:     dev.Costs(),
+		alloc:     alloc.New(dataStart, dev.Size()-dataStart, PageSize, dev.Costs()),
+		metaStart: tableSize,
+		metaSize:  metaBytes,
+		files:     make(map[string]*File),
+		slots:     make([]bool, maxFiles),
+	}
+	var buf [slotSize]byte
+	for i := 0; i < maxFiles; i++ {
+		dev.Read(ctx, buf[:], p.slotOff(i))
+		if binary.LittleEndian.Uint64(buf[slotFlags:]) != 1 {
+			continue
+		}
+		nameLen := binary.LittleEndian.Uint64(buf[slotName:])
+		if nameLen > slotSize-slotName-8 {
+			return nil, fmt.Errorf("pmfile: slot %d corrupt name length %d", i, nameLen)
+		}
+		nExt := binary.LittleEndian.Uint64(buf[slotNExt:])
+		if nExt > maxExtents {
+			return nil, fmt.Errorf("pmfile: slot %d corrupt extent count %d", i, nExt)
+		}
+		f := p.newFile(string(buf[slotName+8:slotName+8+int(nameLen)]), i)
+		f.size.Store(int64(binary.LittleEndian.Uint64(buf[slotSizeOf:])))
+		exts := make([]extent, nExt)
+		for j := range exts {
+			exts[j] = extent{
+				phys:  int64(binary.LittleEndian.Uint64(buf[slotExt+j*extentBytes:])),
+				pages: int64(binary.LittleEndian.Uint64(buf[slotExt+j*extentBytes+8:])),
+			}
+			if err := p.alloc.MarkAllocated(exts[j].phys, exts[j].pages); err != nil {
+				return nil, fmt.Errorf("pmfile: slot %d: %w", i, err)
+			}
+			f.capacity.Add(exts[j].pages * PageSize)
+		}
+		f.extents.Store(&exts)
+		// Pages within the persisted size were (conservatively) stored to;
+		// crash recovery of files with interior holes is outside the fault
+		// model (see DESIGN.md).
+		if sz := f.size.Load(); sz > 0 {
+			f.markWritten(0, sz)
+		}
+		p.slots[i] = true
+		p.files[f.name] = f
+		ctx.Advance(p.costs.IndexStep * 4)
+	}
+	return p, nil
+}

@@ -1,0 +1,96 @@
+package sim
+
+// GapList is a sorted, coalesced set of busy intervals in virtual time. It
+// is the core of contention modeling: a critical section or bandwidth
+// reservation books an interval, and later requests find the earliest free
+// point at or after their own virtual time — allowing a worker whose
+// goroutine was scheduled late in *real* time to backfill virtual-time gaps
+// that were genuinely free. All methods require external synchronization.
+type GapList struct {
+	ivs   []interval
+	floor int64 // pruned-history boundary: nothing books before it
+}
+
+type interval struct{ start, end int64 }
+
+// maxIntervals bounds memory; older history is pruned and its end becomes
+// the floor.
+const maxIntervals = 1024
+
+// FindStart locates the earliest point >= at from which dur nanoseconds are
+// free.
+func (g *GapList) FindStart(at, dur int64) int64 {
+	if at < g.floor {
+		at = g.floor
+	}
+	lo, hi := 0, len(g.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.ivs[mid].end <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := at
+	for i := lo; i < len(g.ivs); i++ {
+		if g.ivs[i].start-pos >= dur {
+			break
+		}
+		if g.ivs[i].end > pos {
+			pos = g.ivs[i].end
+		}
+	}
+	return pos
+}
+
+// Insert books [start, end) as busy, coalescing neighbours and pruning old
+// history. Zero-length sections still book one nanosecond so the point in
+// time is occupied.
+func (g *GapList) Insert(start, end int64) {
+	g.insert(interval{start, end})
+}
+
+// insert books iv, coalescing neighbours and pruning old history.
+func (g *GapList) insert(iv interval) {
+	if iv.end <= iv.start {
+		iv.end = iv.start + 1
+	}
+	lo, hi := 0, len(g.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.ivs[mid].start < iv.start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && g.ivs[lo-1].end >= iv.start {
+		lo--
+		if g.ivs[lo].end > iv.end {
+			iv.end = g.ivs[lo].end
+		}
+		iv.start = g.ivs[lo].start
+		g.ivs = append(g.ivs[:lo], g.ivs[lo+1:]...)
+	}
+	for lo < len(g.ivs) && g.ivs[lo].start <= iv.end {
+		if g.ivs[lo].end > iv.end {
+			iv.end = g.ivs[lo].end
+		}
+		g.ivs = append(g.ivs[:lo], g.ivs[lo+1:]...)
+	}
+	g.ivs = append(g.ivs, interval{})
+	copy(g.ivs[lo+1:], g.ivs[lo:])
+	g.ivs[lo] = iv
+	if len(g.ivs) > maxIntervals {
+		half := len(g.ivs) / 2
+		g.floor = g.ivs[half-1].end
+		g.ivs = append(g.ivs[:0], g.ivs[half:]...)
+	}
+}
+
+// Reset clears all bookings.
+func (g *GapList) Reset() {
+	g.ivs = g.ivs[:0]
+	g.floor = 0
+}

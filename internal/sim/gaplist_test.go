@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGapListBasics(t *testing.T) {
+	var g GapList
+	if got := g.FindStart(100, 10); got != 100 {
+		t.Fatalf("empty list FindStart = %d, want 100", got)
+	}
+	g.Insert(100, 200)
+	if got := g.FindStart(100, 10); got != 200 {
+		t.Fatalf("FindStart inside booked = %d, want 200", got)
+	}
+	if got := g.FindStart(0, 50); got != 0 {
+		t.Fatalf("FindStart before booked = %d, want 0 (gap fits)", got)
+	}
+	if got := g.FindStart(0, 150); got != 200 {
+		t.Fatalf("FindStart with gap too small = %d, want 200", got)
+	}
+	if got := g.FindStart(150, 1); got != 200 {
+		t.Fatalf("FindStart mid-interval = %d, want 200", got)
+	}
+}
+
+func TestGapListCoalescing(t *testing.T) {
+	var g GapList
+	g.Insert(0, 10)
+	g.Insert(10, 20)
+	g.Insert(20, 30)
+	if len(g.ivs) != 1 {
+		t.Fatalf("adjacent intervals not coalesced: %v", g.ivs)
+	}
+	g.Insert(50, 60)
+	g.Insert(25, 55) // bridges both
+	if len(g.ivs) != 1 || g.ivs[0] != (interval{0, 60}) {
+		t.Fatalf("bridge not coalesced: %v", g.ivs)
+	}
+}
+
+func TestGapListZeroLength(t *testing.T) {
+	var g GapList
+	g.Insert(5, 5) // books at least 1ns
+	if got := g.FindStart(5, 1); got != 6 {
+		t.Fatalf("zero-length insert did not occupy its point: FindStart = %d", got)
+	}
+}
+
+// TestGapListProperties: after random insertions, the list is sorted,
+// disjoint, and FindStart never lands inside a booked interval.
+func TestGapListProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g GapList
+		for i := 0; i < 200; i++ {
+			s := rng.Int63n(10000)
+			g.Insert(s, s+rng.Int63n(50)+1)
+		}
+		for i := 1; i < len(g.ivs); i++ {
+			if g.ivs[i-1].end >= g.ivs[i].start {
+				return false // overlap or not coalesced
+			}
+			if g.ivs[i-1].start >= g.ivs[i].start {
+				return false // unsorted
+			}
+		}
+		for i := 0; i < 50; i++ {
+			at := rng.Int63n(12000)
+			dur := rng.Int63n(100) + 1
+			pos := g.FindStart(at, dur)
+			if pos < at {
+				return false
+			}
+			// [pos, pos+dur) must be free.
+			for _, iv := range g.ivs {
+				if pos < iv.end && iv.start < pos+dur {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapListPruning(t *testing.T) {
+	var g GapList
+	// Far more disjoint intervals than the cap.
+	for i := 0; i < 3*maxIntervals; i++ {
+		s := int64(i) * 10
+		g.Insert(s, s+5)
+	}
+	if len(g.ivs) > maxIntervals {
+		t.Fatalf("list not pruned: %d intervals", len(g.ivs))
+	}
+	if g.floor == 0 {
+		t.Fatal("pruning did not raise the floor")
+	}
+	// Booking below the floor is clamped up.
+	if got := g.FindStart(0, 1); got < g.floor {
+		t.Fatalf("FindStart(0) = %d below floor %d", got, g.floor)
+	}
+}
+
+func TestGapListReset(t *testing.T) {
+	var g GapList
+	g.Insert(0, 100)
+	g.Reset()
+	if got := g.FindStart(0, 10); got != 0 {
+		t.Fatalf("after reset FindStart = %d", got)
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCtxClock(t *testing.T) {
+	c := NewCtx(1, 42)
+	if c.Now() != 0 {
+		t.Fatalf("new ctx time = %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	c.Advance(-5) // negative advances are ignored
+	if c.Now() != 100 {
+		t.Fatalf("time = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(50) // backwards AdvanceTo is ignored
+	if c.Now() != 100 {
+		t.Fatalf("time = %d, want 100", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("time = %d, want 250", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("reset time = %d, want 0", c.Now())
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	a, b := NewCtx(0, 0), NewCtx(1, 0)
+	a.Advance(10)
+	b.Advance(30)
+	if got := MaxTime([]*Ctx{a, b}); got != 30 {
+		t.Fatalf("MaxTime = %d, want 30", got)
+	}
+	if got := MaxTime(nil); got != 0 {
+		t.Fatalf("MaxTime(nil) = %d, want 0", got)
+	}
+}
+
+// TestMutexSerializesVirtualTime checks the core property of the model:
+// critical sections serialize virtual time across workers.
+func TestMutexSerializesVirtualTime(t *testing.T) {
+	var m Mutex
+	const workers = 8
+	const sections = 100
+	const sectionCost = 7
+
+	var wg sync.WaitGroup
+	ctxs := make([]*Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = NewCtx(i, int64(i))
+		wg.Add(1)
+		go func(c *Ctx) {
+			defer wg.Done()
+			for j := 0; j < sections; j++ {
+				m.Lock(c)
+				c.Advance(sectionCost)
+				m.Unlock(c)
+			}
+		}(ctxs[i])
+	}
+	wg.Wait()
+	// All critical sections are mutually exclusive in virtual time, so the
+	// maximum clock must be at least the total serialized work.
+	want := int64(workers * sections * sectionCost)
+	if got := MaxTime(ctxs); got < want {
+		t.Fatalf("MaxTime = %d, want >= %d (virtual time must serialize)", got, want)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	c := NewCtx(0, 0)
+	if !m.TryLock(c) {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	c2 := NewCtx(1, 0)
+	if m.TryLock(c2) {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	c.Advance(99)
+	m.Unlock(c)
+	if !m.TryLock(c2) {
+		t.Fatal("TryLock after unlock failed")
+	}
+	if c2.Now() < 99 {
+		t.Fatalf("TryLock did not propagate vrelease: now=%d", c2.Now())
+	}
+	m.Unlock(c2)
+}
+
+// TestRWMutexReadersOverlap verifies that pure readers do not serialize
+// virtual time with one another.
+func TestRWMutexReadersOverlap(t *testing.T) {
+	var rw RWMutex
+	const workers = 8
+	const sections = 50
+	const sectionCost = 11
+
+	var wg sync.WaitGroup
+	ctxs := make([]*Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = NewCtx(i, int64(i))
+		wg.Add(1)
+		go func(c *Ctx) {
+			defer wg.Done()
+			for j := 0; j < sections; j++ {
+				rw.RLock(c)
+				c.Advance(sectionCost)
+				rw.RUnlock(c)
+			}
+		}(ctxs[i])
+	}
+	wg.Wait()
+	// Each reader's own clock is exactly its own work; no cross-reader
+	// serialization may occur.
+	for i, c := range ctxs {
+		if c.Now() != sections*sectionCost {
+			t.Fatalf("reader %d clock = %d, want %d (readers must overlap)", i, c.Now(), sections*sectionCost)
+		}
+	}
+}
+
+// TestRWMutexWriterExcludesReaders verifies the interval semantics: a
+// writer section may not overlap reader sections and vice versa, while a
+// reader whose virtual time falls before a writer section may backfill.
+func TestRWMutexWriterExcludesReaders(t *testing.T) {
+	var rw RWMutex
+	r := NewCtx(0, 0)
+	w := NewCtx(1, 0)
+
+	rw.RLock(r)
+	r.Advance(500)
+	rw.RUnlock(r) // reader section [0, 500)
+
+	rw.Lock(w)
+	if w.Now() < 500 {
+		t.Fatalf("writer clock = %d, want >= 500 (writer may not overlap the reader section)", w.Now())
+	}
+	w.Advance(100)
+	rw.Unlock(w) // writer section [500, 600)
+
+	// A reader starting virtually inside the writer section is pushed past
+	// it.
+	r2 := NewCtx(2, 0)
+	r2.AdvanceTo(550)
+	rw.RLock(r2)
+	if r2.Now() != 600 {
+		t.Fatalf("reader inside writer section got clock %d, want 600", r2.Now())
+	}
+	rw.RUnlock(r2)
+
+	// A reader whose virtual time precedes the writer section backfills the
+	// free time before it.
+	r3 := NewCtx(3, 0)
+	rw.RLock(r3)
+	if r3.Now() != 0 {
+		t.Fatalf("backfilling reader got clock %d, want 0", r3.Now())
+	}
+	rw.RUnlock(r3)
+}
+
+func TestRWMutexTryLocks(t *testing.T) {
+	var rw RWMutex
+	a, b := NewCtx(0, 0), NewCtx(1, 0)
+	if !rw.TryRLock(a) {
+		t.Fatal("TryRLock on free lock failed")
+	}
+	if rw.TryLock(b) {
+		t.Fatal("TryLock succeeded with reader held")
+	}
+	if !rw.TryRLock(b) {
+		t.Fatal("second TryRLock failed")
+	}
+	rw.RUnlock(a)
+	rw.RUnlock(b)
+	if !rw.TryLock(a) {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if rw.TryRLock(b) {
+		t.Fatal("TryRLock succeeded with writer held")
+	}
+	rw.Unlock(a)
+}
+
+// TestTimelineSerializesBandwidth verifies that a single-channel timeline
+// fully serializes reservations in virtual time.
+func TestTimelineSerializesBandwidth(t *testing.T) {
+	tl := NewTimeline(1)
+	const workers = 4
+	const per = 25
+	const dur = 13
+	var wg sync.WaitGroup
+	ctxs := make([]*Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = NewCtx(i, 0)
+		wg.Add(1)
+		go func(c *Ctx) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				tl.Reserve(c, dur)
+			}
+		}(ctxs[i])
+	}
+	wg.Wait()
+	want := int64(workers * per * dur)
+	if got := MaxTime(ctxs); got < want {
+		t.Fatalf("MaxTime = %d, want >= %d (single channel must serialize)", got, want)
+	}
+}
+
+// TestTimelineChannelsParallelize verifies that n channels allow up to n-way
+// overlap.
+func TestTimelineChannelsParallelize(t *testing.T) {
+	tl := NewTimeline(4)
+	ctxs := make([]*Ctx, 4)
+	for i := range ctxs {
+		ctxs[i] = NewCtx(i, 0)
+		tl.Reserve(ctxs[i], 100)
+	}
+	// Sequential goroutine-free reservations from distinct zero-time workers
+	// must each land on a fresh channel.
+	for i, c := range ctxs {
+		if c.Now() != 100 {
+			t.Fatalf("worker %d time = %d, want 100 (channels must parallelize)", i, c.Now())
+		}
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	tl := NewTimeline(2)
+	c := NewCtx(0, 0)
+	tl.Reserve(c, 50)
+	tl.Reset()
+	c2 := NewCtx(1, 0)
+	tl.Reserve(c2, 10)
+	if c2.Now() != 10 {
+		t.Fatalf("post-reset reserve time = %d, want 10", c2.Now())
+	}
+}
+
+func TestCostsRoundingProperties(t *testing.T) {
+	costs := DefaultCosts()
+	// Property: write cost is monotonic in n and respects media-block
+	// rounding (cost of n equals cost of n rounded up to MediaBlock).
+	f := func(n uint16) bool {
+		nn := int(n)
+		if nn == 0 {
+			return costs.WriteCost(0) == 0
+		}
+		rounded := (nn + costs.MediaBlock - 1) / costs.MediaBlock * costs.MediaBlock
+		return costs.WriteCost(nn) == costs.WriteCost(rounded) &&
+			costs.WriteCost(nn) > 0 &&
+			costs.ReadCost(nn) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCostsAreFree(t *testing.T) {
+	z := ZeroCosts()
+	if z.WriteCost(4096) != 0 || z.ReadCost(4096) != 0 || z.FlushCost(4096) != 0 || z.DRAMCopyCost(4096) != 0 {
+		t.Fatal("ZeroCosts must charge nothing")
+	}
+}
+
+func TestFlushCostPerLine(t *testing.T) {
+	c := DefaultCosts()
+	if got, want := c.FlushCost(1), c.CacheLineFlush; got != want {
+		t.Fatalf("FlushCost(1) = %d, want %d", got, want)
+	}
+	if got, want := c.FlushCost(65), 2*c.CacheLineFlush; got != want {
+		t.Fatalf("FlushCost(65) = %d, want %d", got, want)
+	}
+}

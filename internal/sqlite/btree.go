@@ -1,0 +1,505 @@
+package sqlite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"mgsp/internal/sim"
+)
+
+// B+tree page layout (within one 4 KiB page):
+//
+//	 0      type: 1 = leaf, 2 = interior
+//	 2..3   cell count (u16)
+//	 4..5   content start (u16): cell payloads grow down from PageSize
+//	 8..11  right pointer (u32): interior = rightmost child,
+//	        leaf = next leaf in key order (0 = none)
+//	12..    slot array: cell count x u16 payload offsets, sorted by key
+//
+// Leaf cell:     klen u16 | vlen u16 | key | value
+// Interior cell: klen u16 | child u32 | key  — child holds keys <= key;
+// the right pointer holds keys greater than the last cell's key.
+const (
+	pgType    = 0
+	pgNCells  = 2
+	pgContent = 4
+	pgRight   = 8
+	pgSlots   = 12
+
+	typeLeaf     = 1
+	typeInterior = 2
+
+	// MaxPayload bounds key+value so any two cells fit a page.
+	MaxPayload = 1024
+)
+
+// btree is a B+tree with a stable root page id (roots split in place so the
+// catalog never needs updating).
+type btree struct {
+	p    *pager
+	root uint32
+}
+
+// createTree initializes a fresh leaf root.
+func createTree(ctx *sim.Ctx, p *pager) (uint32, error) {
+	pg, b, err := p.alloc(ctx)
+	if err != nil {
+		return 0, err
+	}
+	initPage(b, typeLeaf)
+	return pg, nil
+}
+
+func initPage(b []byte, typ byte) {
+	for i := range b[:pgSlots] {
+		b[i] = 0
+	}
+	b[pgType] = typ
+	binary.LittleEndian.PutUint16(b[pgContent:], PageSize)
+}
+
+func nCells(b []byte) int { return int(binary.LittleEndian.Uint16(b[pgNCells:])) }
+func contentStart(b []byte) int {
+	return int(binary.LittleEndian.Uint16(b[pgContent:]))
+}
+func rightPtr(b []byte) uint32 { return binary.LittleEndian.Uint32(b[pgRight:]) }
+func setRightPtr(b []byte, v uint32) {
+	binary.LittleEndian.PutUint32(b[pgRight:], v)
+}
+func slotOff(b []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(b[pgSlots+2*i:]))
+}
+
+func cellKey(b []byte, i int) []byte {
+	off := slotOff(b, i)
+	klen := int(binary.LittleEndian.Uint16(b[off:]))
+	if b[pgType] == typeLeaf {
+		return b[off+4 : off+4+klen]
+	}
+	return b[off+6 : off+6+klen]
+}
+
+func leafCellValue(b []byte, i int) []byte {
+	off := slotOff(b, i)
+	klen := int(binary.LittleEndian.Uint16(b[off:]))
+	vlen := int(binary.LittleEndian.Uint16(b[off+2:]))
+	return b[off+4+klen : off+4+klen+vlen]
+}
+
+func interiorChild(b []byte, i int) uint32 {
+	off := slotOff(b, i)
+	return binary.LittleEndian.Uint32(b[off+2:])
+}
+
+func setInteriorChild(b []byte, i int, child uint32) {
+	off := slotOff(b, i)
+	binary.LittleEndian.PutUint32(b[off+2:], child)
+}
+
+// findSlot returns the first slot whose key >= key, and whether it is an
+// exact match.
+func findSlot(b []byte, key []byte) (int, bool) {
+	lo, hi := 0, nCells(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(cellKey(b, mid), key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+func freeSpace(b []byte) int {
+	return contentStart(b) - (pgSlots + 2*nCells(b))
+}
+
+// insertCell places payload (already encoded) into slot i.
+func insertCell(b []byte, i int, payload []byte) {
+	n := nCells(b)
+	cs := contentStart(b) - len(payload)
+	copy(b[cs:], payload)
+	// Shift slots right.
+	copy(b[pgSlots+2*(i+1):pgSlots+2*(n+1)], b[pgSlots+2*i:pgSlots+2*n])
+	binary.LittleEndian.PutUint16(b[pgSlots+2*i:], uint16(cs))
+	binary.LittleEndian.PutUint16(b[pgNCells:], uint16(n+1))
+	binary.LittleEndian.PutUint16(b[pgContent:], uint16(cs))
+}
+
+// removeCell deletes slot i (payload space is reclaimed by compaction).
+func removeCell(b []byte, i int) {
+	n := nCells(b)
+	copy(b[pgSlots+2*i:pgSlots+2*(n-1)], b[pgSlots+2*(i+1):pgSlots+2*n])
+	binary.LittleEndian.PutUint16(b[pgNCells:], uint16(n-1))
+}
+
+// compact rewrites the page, squeezing out dead payload space.
+func compact(b []byte) {
+	n := nCells(b)
+	tmp := make([]byte, PageSize)
+	copy(tmp, b)
+	initPage(b, tmp[pgType])
+	setRightPtr(b, rightPtr(tmp))
+	binary.LittleEndian.PutUint16(b[pgNCells:], uint16(n))
+	cs := PageSize
+	for i := 0; i < n; i++ {
+		off := slotOff(tmp, i)
+		var clen int
+		klen := int(binary.LittleEndian.Uint16(tmp[off:]))
+		if tmp[pgType] == typeLeaf {
+			vlen := int(binary.LittleEndian.Uint16(tmp[off+2:]))
+			clen = 4 + klen + vlen
+		} else {
+			clen = 6 + klen
+		}
+		cs -= clen
+		copy(b[cs:], tmp[off:off+clen])
+		binary.LittleEndian.PutUint16(b[pgSlots+2*i:], uint16(cs))
+	}
+	binary.LittleEndian.PutUint16(b[pgContent:], uint16(cs))
+}
+
+func encodeLeafCell(key, val []byte) []byte {
+	c := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint16(c[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(c[2:], uint16(len(val)))
+	copy(c[4:], key)
+	copy(c[4+len(key):], val)
+	return c
+}
+
+func encodeInteriorCell(key []byte, child uint32) []byte {
+	c := make([]byte, 6+len(key))
+	binary.LittleEndian.PutUint16(c[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(c[2:], child)
+	copy(c[6:], key)
+	return c
+}
+
+// liveBytes returns the payload bytes reachable via slots (for compaction
+// decisions).
+func liveBytes(b []byte) int {
+	n := nCells(b)
+	total := 0
+	for i := 0; i < n; i++ {
+		off := slotOff(b, i)
+		klen := int(binary.LittleEndian.Uint16(b[off:]))
+		if b[pgType] == typeLeaf {
+			total += 4 + klen + int(binary.LittleEndian.Uint16(b[off+2:]))
+		} else {
+			total += 6 + klen
+		}
+	}
+	return total
+}
+
+// Get returns the value for key, or nil if absent.
+func (t *btree) Get(ctx *sim.Ctx, key []byte) ([]byte, error) {
+	pg := t.root
+	for {
+		b, err := t.p.get(ctx, pg)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Advance(t.p.fs.Device().Costs().IndexStep * 4)
+		if b[pgType] == typeLeaf {
+			if i, ok := findSlot(b, key); ok {
+				v := leafCellValue(b, i)
+				out := make([]byte, len(v))
+				copy(out, v)
+				return out, nil
+			}
+			return nil, nil
+		}
+		i, _ := findSlot(b, key)
+		if i < nCells(b) {
+			pg = interiorChild(b, i)
+		} else {
+			pg = rightPtr(b)
+		}
+	}
+}
+
+// Put inserts or replaces key -> val.
+func (t *btree) Put(ctx *sim.Ctx, key, val []byte) error {
+	if len(key)+len(val) > MaxPayload {
+		return fmt.Errorf("sqlite: payload %d exceeds %d", len(key)+len(val), MaxPayload)
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("sqlite: empty key")
+	}
+	return t.insert(ctx, t.root, key, val)
+}
+
+// insert descends to the leaf, splitting full pages on the way back up.
+func (t *btree) insert(ctx *sim.Ctx, pg uint32, key, val []byte) error {
+	b, err := t.p.get(ctx, pg)
+	if err != nil {
+		return err
+	}
+	ctx.Advance(t.p.fs.Device().Costs().IndexStep * 4)
+	if b[pgType] == typeLeaf {
+		return t.leafPut(ctx, pg, key, val)
+	}
+	i, _ := findSlot(b, key)
+	var child uint32
+	if i < nCells(b) {
+		child = interiorChild(b, i)
+	} else {
+		child = rightPtr(b)
+	}
+	if err := t.insert(ctx, child, key, val); err != nil {
+		return err
+	}
+	return nil
+}
+
+// leafPut performs the actual leaf mutation, splitting upward as needed.
+func (t *btree) leafPut(ctx *sim.Ctx, pg uint32, key, val []byte) error {
+	b, err := t.p.get(ctx, pg)
+	if err != nil {
+		return err
+	}
+	t.p.markDirty(pg)
+	if i, ok := findSlot(b, key); ok {
+		removeCell(b, i)
+	}
+	cell := encodeLeafCell(key, val)
+	if len(cell)+2 > freeSpace(b) {
+		if liveBytes(b)+len(cell)+2 <= PageSize-pgSlots-2*(nCells(b)+1) {
+			compact(b)
+		} else {
+			if err := t.splitAndRetry(ctx, key, val); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	i, _ := findSlot(b, key)
+	insertCell(b, i, cell)
+	return nil
+}
+
+// splitAndRetry splits the leaf that key belongs to (walking from the root
+// and splitting any full interior pages in place), then re-runs the insert.
+// Proactive splitting keeps the recursion simple: by the time we reach the
+// target, every page on the path has room for one more cell.
+func (t *btree) splitAndRetry(ctx *sim.Ctx, key, val []byte) error {
+	if err := t.splitPath(ctx, key); err != nil {
+		return err
+	}
+	return t.insert(ctx, t.root, key, val)
+}
+
+// splitPath splits the leaf covering key, updating its parent (and the
+// root in place when the root itself must split).
+func (t *btree) splitPath(ctx *sim.Ctx, key []byte) error {
+	// Descend remembering the path.
+	type hop struct {
+		pg   uint32
+		slot int
+	}
+	var path []hop
+	pg := t.root
+	for {
+		b, err := t.p.get(ctx, pg)
+		if err != nil {
+			return err
+		}
+		if b[pgType] == typeLeaf {
+			break
+		}
+		i, _ := findSlot(b, key)
+		path = append(path, hop{pg, i})
+		if i < nCells(b) {
+			pg = interiorChild(b, i)
+		} else {
+			pg = rightPtr(b)
+		}
+	}
+	sep, newRight, err := t.splitPage(ctx, pg)
+	if err != nil {
+		return err
+	}
+	// Propagate the separator upward.
+	for lvl := len(path) - 1; lvl >= 0; lvl-- {
+		parent := path[lvl]
+		pb, err := t.p.get(ctx, parent.pg)
+		if err != nil {
+			return err
+		}
+		t.p.markDirty(parent.pg)
+		// The split child keeps keys <= sep; the new right page takes the
+		// rest, inheriting the child's old position.
+		if parent.slot < nCells(pb) {
+			setInteriorChild(pb, parent.slot, newRight)
+		} else {
+			setRightPtr(pb, newRight)
+		}
+		cell := encodeInteriorCell(sep, pg)
+		if len(cell)+2 > freeSpace(pb) && liveBytes(pb)+len(cell)+2 <= PageSize-pgSlots-2*(nCells(pb)+1) {
+			compact(pb)
+		}
+		if len(cell)+2 <= freeSpace(pb) {
+			i, _ := findSlot(pb, sep)
+			insertCell(pb, i, cell)
+			return nil
+		}
+		// Parent is full too: split it and keep propagating.
+		sep2, right2, err := t.splitPage(ctx, parent.pg)
+		if err != nil {
+			return err
+		}
+		// Re-insert (sep, pg) into whichever half now covers it.
+		target := parent.pg
+		if bytes.Compare(sep, sep2) > 0 {
+			target = right2
+		}
+		tb, err := t.p.get(ctx, target)
+		if err != nil {
+			return err
+		}
+		t.p.markDirty(target)
+		i, _ := findSlot(tb, sep)
+		insertCell(tb, i, cell)
+		pg, sep, newRight = parent.pg, sep2, right2
+	}
+	// The root itself split: rebuild it in place as an interior page with
+	// the two halves (stable root id).
+	rb, err := t.p.get(ctx, t.root)
+	if err != nil {
+		return err
+	}
+	// pg == t.root here; its content was already halved by splitPage, so
+	// move the left half to a fresh page and point the root at both.
+	leftPg, lb, err := t.p.alloc(ctx)
+	if err != nil {
+		return err
+	}
+	copy(lb, rb)
+	t.p.markDirty(leftPg)
+	t.p.markDirty(t.root)
+	initPage(rb, typeInterior)
+	setRightPtr(rb, newRight)
+	insertCell(rb, 0, encodeInteriorCell(sep, leftPg))
+	return nil
+}
+
+// splitPage moves the upper half of pg's cells to a new page and returns
+// the separator (max key remaining in pg) and the new page id.
+func (t *btree) splitPage(ctx *sim.Ctx, pg uint32) ([]byte, uint32, error) {
+	b, err := t.p.get(ctx, pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	newPg, nb, err := t.p.alloc(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.p.markDirty(pg)
+	initPage(nb, b[pgType])
+
+	n := nCells(b)
+	half := n / 2
+	// Copy cells [half, n) to the new page.
+	for i := half; i < n; i++ {
+		off := slotOff(b, i)
+		var clen int
+		klen := int(binary.LittleEndian.Uint16(b[off:]))
+		if b[pgType] == typeLeaf {
+			clen = 4 + klen + int(binary.LittleEndian.Uint16(b[off+2:]))
+		} else {
+			clen = 6 + klen
+		}
+		insertCell(nb, i-half, b[off:off+clen])
+	}
+	binary.LittleEndian.PutUint16(b[pgNCells:], uint16(half))
+	var sep []byte
+	if b[pgType] == typeLeaf {
+		setRightPtr(nb, rightPtr(b)) // chain: new page follows pg
+		setRightPtr(b, newPg)
+		sep = append(sep, cellKey(b, half-1)...) // max key staying left
+	} else {
+		// Interior split: the last left cell's key is promoted as the
+		// separator, and its child becomes pg's new right pointer.
+		setRightPtr(nb, rightPtr(b))
+		sep = append(sep, cellKey(b, half-1)...)
+		setRightPtr(b, interiorChild(b, half-1))
+		removeCell(b, half-1)
+	}
+	compact(b)
+	return sep, newPg, nil
+}
+
+// Delete removes key if present, reporting whether it existed. Pages are
+// not rebalanced on deletion (SQLite also leaves pages underfull until
+// vacuum; fill ratios only matter for space, not correctness).
+func (t *btree) Delete(ctx *sim.Ctx, key []byte) (bool, error) {
+	pg := t.root
+	for {
+		b, err := t.p.get(ctx, pg)
+		if err != nil {
+			return false, err
+		}
+		ctx.Advance(t.p.fs.Device().Costs().IndexStep * 4)
+		if b[pgType] == typeLeaf {
+			i, ok := findSlot(b, key)
+			if !ok {
+				return false, nil
+			}
+			t.p.markDirty(pg)
+			removeCell(b, i)
+			return true, nil
+		}
+		i, _ := findSlot(b, key)
+		if i < nCells(b) {
+			pg = interiorChild(b, i)
+		} else {
+			pg = rightPtr(b)
+		}
+	}
+}
+
+// Scan calls fn for each key in [from, to) in order; fn returning false
+// stops the scan. A nil `to` scans to the end.
+func (t *btree) Scan(ctx *sim.Ctx, from, to []byte, fn func(k, v []byte) bool) error {
+	pg := t.root
+	for {
+		b, err := t.p.get(ctx, pg)
+		if err != nil {
+			return err
+		}
+		if b[pgType] == typeLeaf {
+			break
+		}
+		i, _ := findSlot(b, from)
+		if i < nCells(b) {
+			pg = interiorChild(b, i)
+		} else {
+			pg = rightPtr(b)
+		}
+	}
+	for pg != 0 {
+		b, err := t.p.get(ctx, pg)
+		if err != nil {
+			return err
+		}
+		i, _ := findSlot(b, from)
+		for ; i < nCells(b); i++ {
+			k := cellKey(b, i)
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				return nil
+			}
+			if !fn(k, leafCellValue(b, i)) {
+				return nil
+			}
+		}
+		pg = rightPtr(b)
+	}
+	return nil
+}

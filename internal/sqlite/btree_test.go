@@ -1,0 +1,136 @@
+package sqlite
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mgsp/internal/sim"
+)
+
+func newTestTree(t *testing.T) (*btree, *pager, func()) {
+	t.Helper()
+	fs := newBackingFS()
+	ctx := sim.NewCtx(0, 1)
+	p, err := openPager(ctx, fs, "bt.db", Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := createTree(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &btree{p: p, root: root}, p, func() { p.close(ctx) }
+}
+
+func TestPageCellOperations(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b, typeLeaf)
+	if nCells(b) != 0 || freeSpace(b) <= 0 {
+		t.Fatal("fresh page malformed")
+	}
+	c1 := encodeLeafCell([]byte("bb"), []byte("v1"))
+	insertCell(b, 0, c1)
+	c0 := encodeLeafCell([]byte("aa"), []byte("v0"))
+	insertCell(b, 0, c0) // before bb
+	c2 := encodeLeafCell([]byte("cc"), []byte("v2"))
+	insertCell(b, 2, c2)
+	if nCells(b) != 3 {
+		t.Fatalf("nCells = %d", nCells(b))
+	}
+	for i, want := range []string{"aa", "bb", "cc"} {
+		if string(cellKey(b, i)) != want {
+			t.Fatalf("cell %d key = %q, want %q", i, cellKey(b, i), want)
+		}
+	}
+	if string(leafCellValue(b, 1)) != "v1" {
+		t.Fatalf("value = %q", leafCellValue(b, 1))
+	}
+	if i, ok := findSlot(b, []byte("bb")); !ok || i != 1 {
+		t.Fatalf("findSlot(bb) = %d, %v", i, ok)
+	}
+	if i, ok := findSlot(b, []byte("b")); ok || i != 1 {
+		t.Fatalf("findSlot(b) = %d, %v (want insertion point 1)", i, ok)
+	}
+	removeCell(b, 1)
+	if nCells(b) != 2 || string(cellKey(b, 1)) != "cc" {
+		t.Fatal("removeCell broke ordering")
+	}
+}
+
+func TestPageCompaction(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b, typeLeaf)
+	// Fill, delete everything, and verify compaction reclaims the payload
+	// space for new cells.
+	var keys []string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		c := encodeLeafCell([]byte(k), bytes.Repeat([]byte{1}, 100))
+		if len(c)+2 > freeSpace(b) {
+			break
+		}
+		idx, _ := findSlot(b, []byte(k))
+		insertCell(b, idx, c)
+		keys = append(keys, k)
+	}
+	for range keys {
+		removeCell(b, 0)
+	}
+	if liveBytes(b) != 0 {
+		t.Fatalf("liveBytes = %d after deleting all", liveBytes(b))
+	}
+	if freeSpace(b) > 100 { // payload space still fragmented
+		t.Fatal("expected fragmented page before compaction")
+	}
+	compact(b)
+	if freeSpace(b) < PageSize-pgSlots-64 {
+		t.Fatalf("compaction reclaimed only %d bytes", freeSpace(b))
+	}
+}
+
+func TestSplitPageLeaf(t *testing.T) {
+	bt, p, done := newTestTree(t)
+	defer done()
+	ctx := sim.NewCtx(0, 1)
+	b, _ := p.get(ctx, bt.root)
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		c := encodeLeafCell([]byte(k), bytes.Repeat([]byte{2}, 60))
+		idx, _ := findSlot(b, []byte(k))
+		insertCell(b, idx, c)
+	}
+	sep, newPg, err := bt.splitPage(ctx, bt.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := p.get(ctx, newPg)
+	if nCells(b)+nCells(nb) != 30 {
+		t.Fatalf("cells after split: %d + %d", nCells(b), nCells(nb))
+	}
+	// Separator = max key remaining left; right page's first key > sep.
+	if !bytes.Equal(sep, cellKey(b, nCells(b)-1)) {
+		t.Fatalf("sep %q != left max %q", sep, cellKey(b, nCells(b)-1))
+	}
+	if bytes.Compare(cellKey(nb, 0), sep) <= 0 {
+		t.Fatal("right page starts at or below the separator")
+	}
+	// Leaf chain: left links to right.
+	if rightPtr(b) != newPg {
+		t.Fatal("leaf chain broken by split")
+	}
+}
+
+func TestInteriorCellRoundTrip(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b, typeInterior)
+	insertCell(b, 0, encodeInteriorCell([]byte("mm"), 42))
+	setRightPtr(b, 99)
+	if interiorChild(b, 0) != 42 || rightPtr(b) != 99 {
+		t.Fatal("interior cell round trip failed")
+	}
+	setInteriorChild(b, 0, 43)
+	if interiorChild(b, 0) != 43 {
+		t.Fatal("setInteriorChild failed")
+	}
+}

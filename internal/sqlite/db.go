@@ -1,0 +1,189 @@
+package sqlite
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+// DB is an open database: a catalog of named B+tree tables over the pager.
+// SQLite allows one writer at a time; DB serializes transactions with a
+// database-level lock, exactly as the paper's single-connection workloads
+// behave.
+type DB struct {
+	fs    vfs.FS
+	name  string
+	mode  JournalMode
+	pager *pager
+
+	mu     sim.Mutex
+	tables map[string]*btree
+	closed bool
+}
+
+// Open opens (or creates) the named database in the given journal mode.
+// Opening also performs WAL crash recovery when needed.
+func Open(ctx *sim.Ctx, fs vfs.FS, name string, mode JournalMode) (*DB, error) {
+	p, err := openPager(ctx, fs, name, mode)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{fs: fs, name: name, mode: mode, pager: p, tables: make(map[string]*btree)}
+	root, err := p.catalogRoot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if root == 0 {
+		if root, err = createTree(ctx, p); err != nil {
+			return nil, err
+		}
+		if err := p.setCatalogRoot(ctx, root); err != nil {
+			return nil, err
+		}
+		if err := p.commit(ctx); err != nil {
+			return nil, err
+		}
+	}
+	cat := &btree{p: p, root: root}
+	if err := cat.Scan(ctx, nil, nil, func(k, v []byte) bool {
+		db.tables[string(k)] = &btree{p: p, root: binary.LittleEndian.Uint32(v)}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Mode returns the journal mode.
+func (db *DB) Mode() JournalMode { return db.mode }
+
+// Close flushes and closes the database.
+func (db *DB) Close(ctx *sim.Ctx) error {
+	db.mu.Lock(ctx)
+	defer db.mu.Unlock(ctx)
+	if db.closed {
+		return fmt.Errorf("sqlite: already closed")
+	}
+	db.closed = true
+	return db.pager.close(ctx)
+}
+
+// CreateTable creates an empty table (no-op if it exists).
+func (db *DB) CreateTable(ctx *sim.Ctx, name string) error {
+	db.mu.Lock(ctx)
+	defer db.mu.Unlock(ctx)
+	if _, ok := db.tables[name]; ok {
+		return nil
+	}
+	root, err := createTree(ctx, db.pager)
+	if err != nil {
+		return err
+	}
+	catRoot, err := db.pager.catalogRoot(ctx)
+	if err != nil {
+		return err
+	}
+	cat := &btree{p: db.pager, root: catRoot}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], root)
+	if err := cat.Put(ctx, []byte(name), v[:]); err != nil {
+		return err
+	}
+	if err := db.pager.commit(ctx); err != nil {
+		return err
+	}
+	db.tables[name] = &btree{p: db.pager, root: root}
+	return nil
+}
+
+// Txn is an open transaction. It holds the database write lock until
+// Commit or Rollback.
+type Txn struct {
+	db   *DB
+	done bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin(ctx *sim.Ctx) *Txn {
+	db.mu.Lock(ctx)
+	return &Txn{db: db}
+}
+
+// Commit makes the transaction durable per the journal mode.
+func (t *Txn) Commit(ctx *sim.Ctx) error {
+	if t.done {
+		return fmt.Errorf("sqlite: transaction finished")
+	}
+	t.done = true
+	err := t.db.pager.commit(ctx)
+	t.db.mu.Unlock(ctx)
+	return err
+}
+
+// Rollback restores every page touched by the transaction.
+func (t *Txn) Rollback(ctx *sim.Ctx) error {
+	if t.done {
+		return fmt.Errorf("sqlite: transaction finished")
+	}
+	t.done = true
+	t.db.pager.rollback(ctx)
+	t.db.mu.Unlock(ctx)
+	return nil
+}
+
+func (t *Txn) table(name string) (*btree, error) {
+	bt := t.db.tables[name]
+	if bt == nil {
+		return nil, fmt.Errorf("sqlite: no such table %q", name)
+	}
+	return bt, nil
+}
+
+// Insert adds or replaces a row.
+func (t *Txn) Insert(ctx *sim.Ctx, table string, key, val []byte) error {
+	bt, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return bt.Put(ctx, key, val)
+}
+
+// Get reads a row (nil if absent).
+func (t *Txn) Get(ctx *sim.Ctx, table string, key []byte) ([]byte, error) {
+	bt, err := t.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return bt.Get(ctx, key)
+}
+
+// Delete removes a row, reporting whether it existed.
+func (t *Txn) Delete(ctx *sim.Ctx, table string, key []byte) (bool, error) {
+	bt, err := t.table(table)
+	if err != nil {
+		return false, err
+	}
+	return bt.Delete(ctx, key)
+}
+
+// Scan iterates rows with keys in [from, to); fn returning false stops.
+func (t *Txn) Scan(ctx *sim.Ctx, table string, from, to []byte, fn func(k, v []byte) bool) error {
+	bt, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	return bt.Scan(ctx, from, to, fn)
+}
+
+// Exec runs fn inside a transaction, committing on nil and rolling back on
+// error.
+func (db *DB) Exec(ctx *sim.Ctx, fn func(*Txn) error) error {
+	t := db.Begin(ctx)
+	if err := fn(t); err != nil {
+		t.Rollback(ctx)
+		return err
+	}
+	return t.Commit(ctx)
+}

@@ -1,0 +1,393 @@
+// Package sqlite implements the embedded SQL-engine substrate the paper's
+// real-application evaluation uses (§IV-D): a page-based storage engine with
+// a B+tree access layer and the two journal modes the paper exercises —
+//
+//   - WAL: committed pages append to a write-ahead log with a commit frame
+//     and an fsync, checkpointing back into the database once the WAL grows
+//     past a threshold (SQLite's default behaviour and fsync pattern);
+//   - Off (journal_mode=OFF): no journal; commits write pages in place and
+//     fsync — the mode where the paper's file systems supply the only crash
+//     consistency ("the logging mechanism of the database software itself
+//     will no longer be required");
+//   - Atomic (an extension realizing the paper's future work): no journal,
+//     and each transaction's dirty pages commit through one multi-range
+//     failure-atomic write (MGSP's WriteMulti).
+//
+// The engine issues exactly the I/O pattern a real SQLite workload would
+// (page reads, WAL appends, fsyncs, checkpoints), which is what the Figure
+// 11/12 comparisons depend on.
+package sqlite
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mgsp/internal/core"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+// PageSize is the database page size (SQLite's default on the paper's
+// systems).
+const PageSize = 4096
+
+// JournalMode selects the durability mechanism.
+type JournalMode int
+
+const (
+	// WAL is write-ahead logging (SQLite's default mode in the paper).
+	WAL JournalMode = iota
+	// Off disables the journal entirely.
+	Off
+	// Atomic disables the journal and commits every transaction's dirty
+	// pages with one multi-range failure-atomic file-system write — the
+	// design the paper sketches as future work ("so that existing database
+	// software can obtain corresponding performance gains without
+	// modification"). It requires a file system whose handles implement
+	// batch atomic writes (MGSP).
+	Atomic
+)
+
+// String returns the mode name as SQLite pragma values spell it.
+func (m JournalMode) String() string {
+	switch m {
+	case Off:
+		return "OFF"
+	case Atomic:
+		return "ATOMIC"
+	}
+	return "WAL"
+}
+
+// batchWriter is the optional file capability Atomic mode needs (MGSP
+// handles implement it; see the core package's WriteMulti).
+type batchWriter interface {
+	WriteMulti(ctx *sim.Ctx, updates []core.Update) error
+}
+
+const (
+	frameHeader = 8 // pgid u32 | flags u32
+	frameSize   = frameHeader + PageSize
+	flagCommit  = 1
+
+	// checkpointFrames triggers a WAL checkpoint (SQLite's default 1000).
+	checkpointFrames = 1000
+
+	magic = 0x4d475350_53514c00 // "MGSPSQL\0"
+
+	hdrMagic       = 0
+	hdrNPages      = 8
+	hdrCatalogRoot = 12
+)
+
+// pager manages the page cache, the database file, and the WAL.
+type pager struct {
+	fs   vfs.FS
+	db   vfs.File
+	wal  vfs.File
+	mode JournalMode
+
+	cache map[uint32][]byte
+	dirty map[uint32]bool
+	undo  map[uint32][]byte // pre-transaction images for rollback
+
+	nPages   uint32
+	walIndex map[uint32]int64 // page -> offset of latest frame payload
+	walSize  int64
+	frames   int
+}
+
+func openPager(ctx *sim.Ctx, fs vfs.FS, name string, mode JournalMode) (*pager, error) {
+	p := &pager{
+		fs:       fs,
+		mode:     mode,
+		cache:    make(map[uint32][]byte),
+		dirty:    make(map[uint32]bool),
+		undo:     make(map[uint32][]byte),
+		walIndex: make(map[uint32]int64),
+	}
+	db, err := fs.Open(ctx, name)
+	fresh := false
+	if err == vfs.ErrNotExist {
+		db, err = fs.Create(ctx, name)
+		fresh = true
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.db = db
+	if mode == Atomic {
+		if _, ok := db.(batchWriter); !ok {
+			return nil, fmt.Errorf("sqlite: journal_mode=ATOMIC needs a file system with multi-range atomic writes")
+		}
+	}
+	if mode == WAL {
+		wal, err := fs.Open(ctx, name+"-wal")
+		if err == vfs.ErrNotExist {
+			wal, err = fs.Create(ctx, name+"-wal")
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.wal = wal
+		if err := p.replayWAL(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if fresh && p.db.Size() == 0 && len(p.walIndex) == 0 {
+		// Initialize header page.
+		h := p.allocRaw()
+		binary.LittleEndian.PutUint64(h[hdrMagic:], magic)
+		p.nPages = 1
+		p.writeHeader()
+		if err := p.commit(ctx); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	h, err := p.get(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(h[hdrMagic:]) != magic {
+		return nil, fmt.Errorf("sqlite: %q is not a database", name)
+	}
+	p.nPages = binary.LittleEndian.Uint32(h[hdrNPages:])
+	return p, nil
+}
+
+// replayWAL scans the log, indexing frames up to the last commit record —
+// SQLite's crash recovery for WAL mode.
+func (p *pager) replayWAL(ctx *sim.Ctx) error {
+	size := p.wal.Size()
+	var hdr [frameHeader]byte
+	var off int64
+	pending := make(map[uint32]int64)
+	for off+frameSize <= size {
+		if _, err := p.wal.ReadAt(ctx, hdr[:], off); err != nil {
+			return err
+		}
+		pg := binary.LittleEndian.Uint32(hdr[0:])
+		flags := binary.LittleEndian.Uint32(hdr[4:])
+		pending[pg] = off + frameHeader
+		if flags&flagCommit != 0 {
+			for k, v := range pending {
+				p.walIndex[k] = v
+			}
+			pending = make(map[uint32]int64)
+			p.walSize = off + frameSize
+			p.frames = int(p.walSize / frameSize)
+		}
+		off += frameSize
+	}
+	// Frames after the last commit belong to an uncommitted transaction:
+	// truncate them away.
+	if p.wal.Size() > p.walSize {
+		if err := p.wal.Truncate(ctx, p.walSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *pager) allocRaw() []byte {
+	b := make([]byte, PageSize)
+	p.cache[0] = b
+	p.dirty[0] = true
+	return b
+}
+
+func (p *pager) writeHeader() {
+	h := p.cache[0]
+	binary.LittleEndian.PutUint32(h[hdrNPages:], p.nPages)
+	p.dirty[0] = true
+}
+
+// catalogRoot reads/writes the catalog's root page id in the header.
+func (p *pager) catalogRoot(ctx *sim.Ctx) (uint32, error) {
+	h, err := p.get(ctx, 0)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(h[hdrCatalogRoot:]), nil
+}
+
+func (p *pager) setCatalogRoot(ctx *sim.Ctx, root uint32) error {
+	h, err := p.get(ctx, 0)
+	if err != nil {
+		return err
+	}
+	p.markDirty(0)
+	binary.LittleEndian.PutUint32(h[hdrCatalogRoot:], root)
+	return nil
+}
+
+// get returns the cached page, loading it from the WAL or database file.
+func (p *pager) get(ctx *sim.Ctx, pg uint32) ([]byte, error) {
+	if b, ok := p.cache[pg]; ok {
+		return b, nil
+	}
+	b := make([]byte, PageSize)
+	if off, ok := p.walIndex[pg]; ok && p.mode == WAL {
+		if _, err := p.wal.ReadAt(ctx, b, off); err != nil {
+			return nil, err
+		}
+	} else if int64(pg+1)*PageSize <= p.db.Size() {
+		if _, err := p.db.ReadAt(ctx, b, int64(pg)*PageSize); err != nil {
+			return nil, err
+		}
+	}
+	p.cache[pg] = b
+	return b, nil
+}
+
+// markDirty snapshots the page for rollback (first touch in a transaction)
+// and queues it for the next commit.
+func (p *pager) markDirty(pg uint32) {
+	if !p.dirty[pg] {
+		if _, saved := p.undo[pg]; !saved {
+			cp := make([]byte, PageSize)
+			copy(cp, p.cache[pg])
+			p.undo[pg] = cp
+		}
+		p.dirty[pg] = true
+	}
+}
+
+// alloc returns a fresh zero page.
+func (p *pager) alloc(ctx *sim.Ctx) (uint32, []byte, error) {
+	pg := p.nPages
+	p.nPages++
+	b := make([]byte, PageSize)
+	p.cache[pg] = b
+	// A fresh page has no pre-image worth keeping; rollback discards it by
+	// restoring nPages via the header pre-image.
+	p.undo[pg] = nil
+	p.dirty[pg] = true
+	p.writeHeader()
+	p.markDirty(0)
+	return pg, b, nil
+}
+
+// commit makes all dirty pages durable per the journal mode.
+func (p *pager) commit(ctx *sim.Ctx) error {
+	if len(p.dirty) == 0 {
+		p.undo = make(map[uint32][]byte)
+		return nil
+	}
+	p.writeHeader()
+	pages := make([]uint32, 0, len(p.dirty))
+	for pg := range p.dirty {
+		pages = append(pages, pg)
+	}
+	switch p.mode {
+	case WAL:
+		var hdr [frameHeader]byte
+		for i, pg := range pages {
+			binary.LittleEndian.PutUint32(hdr[0:], pg)
+			flags := uint32(0)
+			if i == len(pages)-1 {
+				flags = flagCommit
+			}
+			binary.LittleEndian.PutUint32(hdr[4:], flags)
+			if _, err := p.wal.WriteAt(ctx, hdr[:], p.walSize); err != nil {
+				return err
+			}
+			if _, err := p.wal.WriteAt(ctx, p.cache[pg], p.walSize+frameHeader); err != nil {
+				return err
+			}
+			p.walIndex[pg] = p.walSize + frameHeader
+			p.walSize += frameSize
+			p.frames++
+		}
+		if err := p.wal.Fsync(ctx); err != nil {
+			return err
+		}
+	case Off:
+		for _, pg := range pages {
+			if _, err := p.db.WriteAt(ctx, p.cache[pg], int64(pg)*PageSize); err != nil {
+				return err
+			}
+		}
+		if err := p.db.Fsync(ctx); err != nil {
+			return err
+		}
+	case Atomic:
+		updates := make([]core.Update, len(pages))
+		for i, pg := range pages {
+			updates[i] = core.Update{Off: int64(pg) * PageSize, Data: p.cache[pg]}
+		}
+		if err := p.db.(batchWriter).WriteMulti(ctx, updates); err != nil {
+			return err
+		}
+	}
+	p.dirty = make(map[uint32]bool)
+	p.undo = make(map[uint32][]byte)
+	if p.mode == WAL && p.frames >= checkpointFrames {
+		return p.checkpoint(ctx)
+	}
+	return nil
+}
+
+// rollback restores every touched page to its pre-transaction image.
+func (p *pager) rollback(ctx *sim.Ctx) {
+	for pg, img := range p.undo {
+		if img == nil {
+			delete(p.cache, pg) // freshly allocated in this txn
+			continue
+		}
+		copy(p.cache[pg], img)
+	}
+	// The header pre-image restores nPages.
+	if h, ok := p.cache[0]; ok {
+		p.nPages = binary.LittleEndian.Uint32(h[hdrNPages:])
+		if p.nPages == 0 {
+			p.nPages = 1
+		}
+	}
+	p.undo = make(map[uint32][]byte)
+	p.dirty = make(map[uint32]bool)
+}
+
+// checkpoint copies WAL contents back into the database file and resets the
+// log (SQLite's passive checkpoint).
+func (p *pager) checkpoint(ctx *sim.Ctx) error {
+	for pg := range p.walIndex {
+		b, err := p.get(ctx, pg)
+		if err != nil {
+			return err
+		}
+		if _, err := p.db.WriteAt(ctx, b, int64(pg)*PageSize); err != nil {
+			return err
+		}
+	}
+	if err := p.db.Fsync(ctx); err != nil {
+		return err
+	}
+	if err := p.wal.Truncate(ctx, 0); err != nil {
+		return err
+	}
+	if err := p.wal.Fsync(ctx); err != nil {
+		return err
+	}
+	p.walIndex = make(map[uint32]int64)
+	p.walSize = 0
+	p.frames = 0
+	return nil
+}
+
+// close flushes (committing any stray dirty pages) and closes the files.
+func (p *pager) close(ctx *sim.Ctx) error {
+	if err := p.commit(ctx); err != nil {
+		return err
+	}
+	if p.mode == WAL {
+		if err := p.checkpoint(ctx); err != nil {
+			return err
+		}
+		if err := p.wal.Close(ctx); err != nil {
+			return err
+		}
+	}
+	return p.db.Close(ctx)
+}

@@ -1,0 +1,531 @@
+// Package tpcc implements the TPC-C workload over the internal/sqlite
+// engine, as the paper's Figure 12 runs it against SQLite. The schema and
+// the five transaction profiles follow the TPC-C specification with the
+// standard mix (New-Order 45%, Payment 43%, Order-Status 4%, Delivery 4%,
+// Stock-Level 4%), scaled down by configurable factors so runs finish in
+// simulation. The headline metric is tpmC: New-Order transactions per
+// virtual minute.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mgsp/internal/sim"
+	"mgsp/internal/sqlite"
+	"mgsp/internal/vfs"
+)
+
+// Config scales the database and run length.
+type Config struct {
+	Warehouses int
+	// DistrictsPerWarehouse is 10 in the spec.
+	Districts int
+	// CustomersPerDistrict is 3000 in the spec; scaled down by default.
+	Customers int
+	// Items is 100000 in the spec; scaled down by default.
+	Items int
+	// Transactions is the measured transaction count.
+	Transactions int
+	Seed         int64
+}
+
+// DefaultConfig returns a laptop-scale TPC-C instance.
+func DefaultConfig() Config {
+	return Config{Warehouses: 2, Districts: 10, Customers: 120, Items: 1000, Transactions: 600, Seed: 7}
+}
+
+// Result aggregates the run.
+type Result struct {
+	FS   string
+	Mode sqlite.JournalMode
+
+	TpmC      float64 // New-Order transactions per virtual minute
+	TotalTPS  float64
+	NewOrders int
+	Aborted   int
+	VirtualNS int64
+}
+
+// tables
+const (
+	tWarehouse = "warehouse"
+	tDistrict  = "district"
+	tCustomer  = "customer"
+	tCustIdx   = "customer_name" // secondary index: last name -> customer id
+	tItem      = "item"
+	tStock     = "stock"
+	tOrder     = "orders"
+	tNewOrder  = "new_order"
+	tOrderLine = "order_line"
+	tHistory   = "history"
+)
+
+var allTables = []string{tWarehouse, tDistrict, tCustomer, tCustIdx, tItem, tStock, tOrder, tNewOrder, tOrderLine, tHistory}
+
+// lastName builds the spec's syllable-composed customer last name from a
+// number (TPC-C §4.3.2.3).
+func lastName(num int) string {
+	syl := []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+	return syl[num/100%10] + syl[num/10%10] + syl[num%10]
+}
+
+// nameKey is the secondary-index key: (w, d, name, cID) so equal names
+// cluster and scan in customer-id order.
+func nameKey(w, d int, name string, c int) []byte {
+	k := make([]byte, 8+len(name)+4)
+	binary.BigEndian.PutUint32(k[0:], uint32(w))
+	binary.BigEndian.PutUint32(k[4:], uint32(d))
+	copy(k[8:], name)
+	binary.BigEndian.PutUint32(k[8+len(name):], uint32(c))
+	return k
+}
+
+// ---- key encodings (big-endian composites preserve order) ----
+
+func k1(a int) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(a))
+	return b
+}
+
+func k2(a, b int) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint32(k[0:], uint32(a))
+	binary.BigEndian.PutUint32(k[4:], uint32(b))
+	return k
+}
+
+func k3(a, b, c int) []byte {
+	k := make([]byte, 12)
+	binary.BigEndian.PutUint32(k[0:], uint32(a))
+	binary.BigEndian.PutUint32(k[4:], uint32(b))
+	binary.BigEndian.PutUint32(k[8:], uint32(c))
+	return k
+}
+
+func k4(a, b, c, d int) []byte {
+	k := make([]byte, 16)
+	binary.BigEndian.PutUint32(k[0:], uint32(a))
+	binary.BigEndian.PutUint32(k[4:], uint32(b))
+	binary.BigEndian.PutUint32(k[8:], uint32(c))
+	binary.BigEndian.PutUint32(k[12:], uint32(d))
+	return k
+}
+
+// ---- row encodings: fixed numeric fields + filler to realistic widths ----
+
+type row struct{ b []byte }
+
+func newRow(numFields, filler int) row {
+	return row{b: make([]byte, numFields*8+filler)}
+}
+
+func (r row) getF(i int) int64 { return int64(binary.LittleEndian.Uint64(r.b[i*8:])) }
+func (r row) setF(i int, v int64) {
+	binary.LittleEndian.PutUint64(r.b[i*8:], uint64(v))
+}
+
+// Field indices per table (documented widths approximate TPC-C row sizes).
+const (
+	// warehouse: ytd; filler ~80 (name, address, tax).
+	wYTD = 0
+	// district: ytd, nextOID; filler ~90.
+	dYTD, dNextOID = 0, 1
+	// customer: balance, ytdPayment, paymentCnt, deliveryCnt, lastOrder;
+	// filler ~500.
+	cBalance, cYTDPayment, cPaymentCnt, cDeliveryCnt, cLastOrder = 0, 1, 2, 3, 4
+	// stock: quantity, ytd, orderCnt, remoteCnt; filler ~280.
+	sQuantity, sYTD, sOrderCnt, sRemoteCnt = 0, 1, 2, 3
+	// item: price; filler ~70.
+	iPrice = 0
+	// order: cID, carrierID, olCnt, entryD; filler ~8.
+	oCID, oCarrier, oOLCnt, oEntryD = 0, 1, 2, 3
+	// order line: iID, supplyW, quantity, amount, deliveryD; filler ~24.
+	olIID, olSupplyW, olQuantity, olAmount, olDeliveryD = 0, 1, 2, 3, 4
+)
+
+// Load populates a fresh TPC-C database.
+func Load(ctx *sim.Ctx, db *sqlite.DB, cfg Config) error {
+	for _, tbl := range allTables {
+		if err := db.CreateTable(ctx, tbl); err != nil {
+			return err
+		}
+	}
+	return db.Exec(ctx, func(tx *sqlite.Txn) error {
+		for i := 1; i <= cfg.Items; i++ {
+			r := newRow(1, 70)
+			r.setF(iPrice, int64(100+i%9900)) // cents
+			if err := tx.Insert(ctx, tItem, k1(i), r.b); err != nil {
+				return err
+			}
+		}
+		for w := 1; w <= cfg.Warehouses; w++ {
+			wr := newRow(1, 80)
+			if err := tx.Insert(ctx, tWarehouse, k1(w), wr.b); err != nil {
+				return err
+			}
+			for i := 1; i <= cfg.Items; i++ {
+				sr := newRow(4, 280)
+				sr.setF(sQuantity, int64(10+(i*7)%91))
+				if err := tx.Insert(ctx, tStock, k2(w, i), sr.b); err != nil {
+					return err
+				}
+			}
+			for d := 1; d <= cfg.Districts; d++ {
+				dr := newRow(2, 90)
+				dr.setF(dNextOID, 1)
+				if err := tx.Insert(ctx, tDistrict, k2(w, d), dr.b); err != nil {
+					return err
+				}
+				for c := 1; c <= cfg.Customers; c++ {
+					cr := newRow(5, 500)
+					cr.setF(cBalance, -1000) // -10.00
+					if err := tx.Insert(ctx, tCustomer, k3(w, d, c), cr.b); err != nil {
+						return err
+					}
+					// Secondary index on the spec's syllable last name.
+					if err := tx.Insert(ctx, tCustIdx, nameKey(w, d, lastName(c%1000), c), k1(c)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// errAbort models the spec's 1% New-Order rollback (invalid item).
+var errAbort = fmt.Errorf("tpcc: new-order abort (unused item)")
+
+// Run loads the database and executes the transaction mix.
+func Run(fs vfs.FS, mode sqlite.JournalMode, cfg Config) (Result, error) {
+	ctx := sim.NewCtx(0, cfg.Seed)
+	db, err := sqlite.Open(ctx, fs, "tpcc.db", mode)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close(ctx)
+	if err := Load(ctx, db, cfg); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{FS: fs.Name(), Mode: mode}
+	t0 := ctx.Now()
+	for i := 0; i < cfg.Transactions; i++ {
+		var err error
+		switch p := ctx.Rand.Intn(100); {
+		case p < 45:
+			err = newOrder(ctx, db, cfg, &res)
+		case p < 88:
+			err = payment(ctx, db, cfg)
+		case p < 92:
+			err = orderStatus(ctx, db, cfg)
+		case p < 96:
+			err = delivery(ctx, db, cfg)
+		default:
+			err = stockLevel(ctx, db, cfg)
+		}
+		if err != nil && err != errAbort {
+			return Result{}, err
+		}
+	}
+	res.VirtualNS = ctx.Now() - t0
+	if res.VirtualNS > 0 {
+		res.TpmC = float64(res.NewOrders) / (float64(res.VirtualNS) / 1e9) * 60
+		res.TotalTPS = float64(cfg.Transactions) / (float64(res.VirtualNS) / 1e9)
+	}
+	return res, nil
+}
+
+func getRow(ctx *sim.Ctx, tx *sqlite.Txn, table string, key []byte) (row, error) {
+	v, err := tx.Get(ctx, table, key)
+	if err != nil {
+		return row{}, err
+	}
+	if v == nil {
+		return row{}, fmt.Errorf("tpcc: missing row in %s", table)
+	}
+	return row{b: v}, nil
+}
+
+// newOrder is the spec's New-Order transaction: district sequence bump,
+// customer read, per-line item read + stock update + order-line insert,
+// order + new-order inserts. 1% of transactions roll back.
+func newOrder(ctx *sim.Ctx, db *sqlite.DB, cfg Config, res *Result) error {
+	w := 1 + ctx.Rand.Intn(cfg.Warehouses)
+	d := 1 + ctx.Rand.Intn(cfg.Districts)
+	c := 1 + ctx.Rand.Intn(cfg.Customers)
+	nLines := 5 + ctx.Rand.Intn(11)
+	abort := ctx.Rand.Intn(100) == 0
+
+	err := db.Exec(ctx, func(tx *sqlite.Txn) error {
+		dr, err := getRow(ctx, tx, tDistrict, k2(w, d))
+		if err != nil {
+			return err
+		}
+		oid := int(dr.getF(dNextOID))
+		dr.setF(dNextOID, int64(oid+1))
+		if err := tx.Insert(ctx, tDistrict, k2(w, d), dr.b); err != nil {
+			return err
+		}
+		if _, err := getRow(ctx, tx, tCustomer, k3(w, d, c)); err != nil {
+			return err
+		}
+		var total int64
+		for l := 1; l <= nLines; l++ {
+			item := 1 + ctx.Rand.Intn(cfg.Items)
+			if abort && l == nLines {
+				return errAbort // unused item id: roll the whole txn back
+			}
+			ir, err := getRow(ctx, tx, tItem, k1(item))
+			if err != nil {
+				return err
+			}
+			sr, err := getRow(ctx, tx, tStock, k2(w, item))
+			if err != nil {
+				return err
+			}
+			qty := int64(1 + ctx.Rand.Intn(10))
+			q := sr.getF(sQuantity) - qty
+			if q < 10 {
+				q += 91
+			}
+			sr.setF(sQuantity, q)
+			sr.setF(sYTD, sr.getF(sYTD)+qty)
+			sr.setF(sOrderCnt, sr.getF(sOrderCnt)+1)
+			if err := tx.Insert(ctx, tStock, k2(w, item), sr.b); err != nil {
+				return err
+			}
+			ol := newRow(5, 24)
+			ol.setF(olIID, int64(item))
+			ol.setF(olSupplyW, int64(w))
+			ol.setF(olQuantity, qty)
+			ol.setF(olAmount, qty*ir.getF(iPrice))
+			total += qty * ir.getF(iPrice)
+			if err := tx.Insert(ctx, tOrderLine, k4(w, d, oid, l), ol.b); err != nil {
+				return err
+			}
+		}
+		or := newRow(4, 8)
+		or.setF(oCID, int64(c))
+		or.setF(oOLCnt, int64(nLines))
+		if err := tx.Insert(ctx, tOrder, k3(w, d, oid), or.b); err != nil {
+			return err
+		}
+		// Track the customer's latest order for Order-Status.
+		cr, err := getRow(ctx, tx, tCustomer, k3(w, d, c))
+		if err != nil {
+			return err
+		}
+		cr.setF(cLastOrder, int64(oid))
+		if err := tx.Insert(ctx, tCustomer, k3(w, d, c), cr.b); err != nil {
+			return err
+		}
+		return tx.Insert(ctx, tNewOrder, k3(w, d, oid), []byte{1})
+	})
+	if err == nil {
+		res.NewOrders++
+	} else if err == errAbort {
+		res.Aborted++
+	}
+	return err
+}
+
+// payment updates warehouse/district YTD and the customer balance, and
+// records a history row.
+func payment(ctx *sim.Ctx, db *sqlite.DB, cfg Config) error {
+	w := 1 + ctx.Rand.Intn(cfg.Warehouses)
+	d := 1 + ctx.Rand.Intn(cfg.Districts)
+	c := 1 + ctx.Rand.Intn(cfg.Customers)
+	byName := ctx.Rand.Intn(100) < 60            // the spec: 60% select by last name
+	amount := int64(100 + ctx.Rand.Intn(500000)) // cents
+
+	return db.Exec(ctx, func(tx *sqlite.Txn) error {
+		if byName {
+			var err error
+			if c, err = customerByName(ctx, tx, w, d, lastName((1+ctx.Rand.Intn(cfg.Customers))%1000)); err != nil {
+				return err
+			}
+			if c == 0 {
+				c = 1 + ctx.Rand.Intn(cfg.Customers) // name not present at this scale
+			}
+		}
+		wr, err := getRow(ctx, tx, tWarehouse, k1(w))
+		if err != nil {
+			return err
+		}
+		wr.setF(wYTD, wr.getF(wYTD)+amount)
+		if err := tx.Insert(ctx, tWarehouse, k1(w), wr.b); err != nil {
+			return err
+		}
+		dr, err := getRow(ctx, tx, tDistrict, k2(w, d))
+		if err != nil {
+			return err
+		}
+		dr.setF(dYTD, dr.getF(dYTD)+amount)
+		if err := tx.Insert(ctx, tDistrict, k2(w, d), dr.b); err != nil {
+			return err
+		}
+		cr, err := getRow(ctx, tx, tCustomer, k3(w, d, c))
+		if err != nil {
+			return err
+		}
+		cr.setF(cBalance, cr.getF(cBalance)-amount)
+		cr.setF(cYTDPayment, cr.getF(cYTDPayment)+amount)
+		cr.setF(cPaymentCnt, cr.getF(cPaymentCnt)+1)
+		if err := tx.Insert(ctx, tCustomer, k3(w, d, c), cr.b); err != nil {
+			return err
+		}
+		h := newRow(1, 40)
+		h.setF(0, amount)
+		hk := k4(w, d, c, int(cr.getF(cPaymentCnt)))
+		return tx.Insert(ctx, tHistory, hk, h.b)
+	})
+}
+
+// orderStatus reads a customer's most recent order and its lines; 60% of
+// executions select the customer by last name through the secondary index.
+func orderStatus(ctx *sim.Ctx, db *sqlite.DB, cfg Config) error {
+	w := 1 + ctx.Rand.Intn(cfg.Warehouses)
+	d := 1 + ctx.Rand.Intn(cfg.Districts)
+	c := 1 + ctx.Rand.Intn(cfg.Customers)
+	byName := ctx.Rand.Intn(100) < 60
+
+	return db.Exec(ctx, func(tx *sqlite.Txn) error {
+		if byName {
+			cc, err := customerByName(ctx, tx, w, d, lastName((1+ctx.Rand.Intn(cfg.Customers))%1000))
+			if err != nil {
+				return err
+			}
+			if cc != 0 {
+				c = cc
+			}
+		}
+		cr, err := getRow(ctx, tx, tCustomer, k3(w, d, c))
+		if err != nil {
+			return err
+		}
+		last := int(cr.getF(cLastOrder))
+		if last < 1 {
+			return nil // customer has no orders yet
+		}
+		or, err := getRow(ctx, tx, tOrder, k3(w, d, last))
+		if err != nil {
+			return err
+		}
+		n := int(or.getF(oOLCnt))
+		return tx.Scan(ctx, tOrderLine, k4(w, d, last, 1), k4(w, d, last, n+1), func(k, v []byte) bool {
+			return true
+		})
+	})
+}
+
+// customerByName implements the spec's selection rule: collect matching
+// customers ordered by id and take the one at position n/2 (0 = no match).
+func customerByName(ctx *sim.Ctx, tx *sqlite.Txn, w, d int, name string) (int, error) {
+	var ids []int
+	lo := nameKey(w, d, name, 0)
+	hi := nameKey(w, d, name, 1<<31-1)
+	if err := tx.Scan(ctx, tCustIdx, lo, hi, func(k, v []byte) bool {
+		ids = append(ids, int(binary.BigEndian.Uint32(v)))
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	return ids[len(ids)/2], nil
+}
+
+// delivery pops the oldest undelivered order of each district, stamps the
+// carrier, and credits the customer.
+func delivery(ctx *sim.Ctx, db *sqlite.DB, cfg Config) error {
+	w := 1 + ctx.Rand.Intn(cfg.Warehouses)
+	carrier := int64(1 + ctx.Rand.Intn(10))
+
+	return db.Exec(ctx, func(tx *sqlite.Txn) error {
+		for d := 1; d <= cfg.Districts; d++ {
+			var oldest []byte
+			if err := tx.Scan(ctx, tNewOrder, k3(w, d, 0), k3(w, d+1, 0), func(k, v []byte) bool {
+				oldest = append([]byte{}, k...)
+				return false
+			}); err != nil {
+				return err
+			}
+			if oldest == nil {
+				continue
+			}
+			oid := int(binary.BigEndian.Uint32(oldest[8:]))
+			if _, err := tx.Delete(ctx, tNewOrder, oldest); err != nil {
+				return err
+			}
+			or, err := getRow(ctx, tx, tOrder, k3(w, d, oid))
+			if err != nil {
+				return err
+			}
+			or.setF(oCarrier, carrier)
+			if err := tx.Insert(ctx, tOrder, k3(w, d, oid), or.b); err != nil {
+				return err
+			}
+			var total int64
+			n := int(or.getF(oOLCnt))
+			if err := tx.Scan(ctx, tOrderLine, k4(w, d, oid, 1), k4(w, d, oid, n+1), func(k, v []byte) bool {
+				total += row{b: v}.getF(olAmount)
+				return true
+			}); err != nil {
+				return err
+			}
+			c := int(or.getF(oCID))
+			cr, err := getRow(ctx, tx, tCustomer, k3(w, d, c))
+			if err != nil {
+				return err
+			}
+			cr.setF(cBalance, cr.getF(cBalance)+total)
+			cr.setF(cDeliveryCnt, cr.getF(cDeliveryCnt)+1)
+			if err := tx.Insert(ctx, tCustomer, k3(w, d, c), cr.b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// stockLevel counts recently-sold items with stock below a threshold.
+func stockLevel(ctx *sim.Ctx, db *sqlite.DB, cfg Config) error {
+	w := 1 + ctx.Rand.Intn(cfg.Warehouses)
+	d := 1 + ctx.Rand.Intn(cfg.Districts)
+	threshold := int64(10 + ctx.Rand.Intn(11))
+
+	return db.Exec(ctx, func(tx *sqlite.Txn) error {
+		dr, err := getRow(ctx, tx, tDistrict, k2(w, d))
+		if err != nil {
+			return err
+		}
+		next := int(dr.getF(dNextOID))
+		lo := next - 20
+		if lo < 1 {
+			lo = 1
+		}
+		items := make(map[int64]bool)
+		if err := tx.Scan(ctx, tOrderLine, k4(w, d, lo, 0), k4(w, d, next, 0), func(k, v []byte) bool {
+			items[row{b: v}.getF(olIID)] = true
+			return true
+		}); err != nil {
+			return err
+		}
+		low := 0
+		for item := range items {
+			sr, err := getRow(ctx, tx, tStock, k2(w, int(item)))
+			if err != nil {
+				return err
+			}
+			if sr.getF(sQuantity) < threshold {
+				low++
+			}
+		}
+		_ = low
+		return nil
+	})
+}

@@ -1,0 +1,286 @@
+package tpcc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mgsp/internal/ext4"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/sqlite"
+	"mgsp/internal/vfs"
+)
+
+func backing() vfs.FS {
+	return ext4.New(nvm.New(192<<20, sim.ZeroCosts()), ext4.DAX)
+}
+
+func tinyConfig() Config {
+	return Config{Warehouses: 1, Districts: 3, Customers: 20, Items: 50, Transactions: 150, Seed: 3}
+}
+
+func TestRunCompletesBothModes(t *testing.T) {
+	for _, mode := range []sqlite.JournalMode{sqlite.WAL, sqlite.Off} {
+		fs := ext4.New(nvm.New(192<<20, sim.DefaultCosts()), ext4.DAX)
+		res, err := Run(fs, mode, tinyConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.NewOrders == 0 {
+			t.Fatalf("%v: no new-order transactions completed", mode)
+		}
+		if res.VirtualNS <= 0 || res.TpmC <= 0 {
+			t.Fatalf("%v: no virtual time / tpmC: %+v", mode, res)
+		}
+	}
+}
+
+// TestConsistency runs the mix and then checks TPC-C consistency rules:
+// (1) W_YTD = sum(D_YTD) per warehouse;
+// (2) D_NEXT_O_ID - 1 = max order id per district;
+// (3) every order's line count matches its order lines.
+func TestConsistency(t *testing.T) {
+	fs := backing()
+	cfg := tinyConfig()
+	ctx := sim.NewCtx(0, cfg.Seed)
+	db, err := sqlite.Open(ctx, fs, "tpcc.db", sqlite.WAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := Result{}
+	for i := 0; i < 300; i++ {
+		var err error
+		switch i % 5 {
+		case 0, 1:
+			err = newOrder(ctx, db, cfg, &res)
+		case 2, 3:
+			err = payment(ctx, db, cfg)
+		case 4:
+			err = delivery(ctx, db, cfg)
+		}
+		if err != nil && err != errAbort {
+			t.Fatal(err)
+		}
+	}
+
+	db.Exec(ctx, func(tx *sqlite.Txn) error {
+		for w := 1; w <= cfg.Warehouses; w++ {
+			wr, err := getRow(ctx, tx, tWarehouse, k1(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sumD int64
+			for d := 1; d <= cfg.Districts; d++ {
+				dr, err := getRow(ctx, tx, tDistrict, k2(w, d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sumD += dr.getF(dYTD)
+
+				// Rule 2: orders are dense up to nextOID-1.
+				next := int(dr.getF(dNextOID))
+				for oid := 1; oid < next; oid++ {
+					or, err := getRow(ctx, tx, tOrder, k3(w, d, oid))
+					if err != nil {
+						t.Fatalf("w%d d%d order %d missing (next=%d)", w, d, oid, next)
+					}
+					// Rule 3: order lines are complete.
+					n := int(or.getF(oOLCnt))
+					count := 0
+					tx.Scan(ctx, tOrderLine, k4(w, d, oid, 0), k4(w, d, oid+1, 0), func(k, v []byte) bool {
+						count++
+						return true
+					})
+					if count != n {
+						t.Fatalf("w%d d%d o%d: %d lines, want %d", w, d, oid, count, n)
+					}
+				}
+			}
+			if wr.getF(wYTD) != sumD {
+				t.Fatalf("warehouse %d: W_YTD %d != sum(D_YTD) %d", w, wr.getF(wYTD), sumD)
+			}
+		}
+		return nil
+	})
+}
+
+// TestAbortedNewOrderLeavesNoTrace: the 1% rollback must not leak partial
+// state (district sequence, stock, order lines).
+func TestAbortedNewOrderRollsBack(t *testing.T) {
+	fs := backing()
+	cfg := tinyConfig()
+	ctx := sim.NewCtx(0, 99)
+	db, err := sqlite.Open(ctx, fs, "tpcc.db", sqlite.WAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := Result{}
+	// Run new-orders until at least one abort happens.
+	for res.Aborted == 0 {
+		if err := newOrder(ctx, db, cfg, &res); err != nil && err != errAbort {
+			t.Fatal(err)
+		}
+		if res.NewOrders+res.Aborted > 2000 {
+			t.Skip("no abort sampled in 2000 transactions")
+		}
+	}
+	// Dense order check again: aborted order ids must not exist.
+	db.Exec(ctx, func(tx *sqlite.Txn) error {
+		for d := 1; d <= cfg.Districts; d++ {
+			dr, _ := getRow(ctx, tx, tDistrict, k2(1, d))
+			next := int(dr.getF(dNextOID))
+			count := 0
+			tx.Scan(ctx, tOrder, k3(1, d, 0), k3(1, d+1, 0), func(k, v []byte) bool {
+				count++
+				return true
+			})
+			if count != next-1 {
+				t.Fatalf("district %d: %d orders but next oid %d (aborted txn leaked)", d, count, next)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	fs := backing()
+	cfg := tinyConfig()
+	ctx := sim.NewCtx(0, 5)
+	db, _ := sqlite.Open(ctx, fs, "tpcc.db", sqlite.Off)
+	if err := Load(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := Result{}
+	for i := 0; i < 30; i++ {
+		if err := newOrder(ctx, db, cfg, &res); err != nil && err != errAbort {
+			t.Fatal(err)
+		}
+	}
+	countNew := func() int {
+		n := 0
+		db.Exec(ctx, func(tx *sqlite.Txn) error {
+			return tx.Scan(ctx, tNewOrder, nil, nil, func(k, v []byte) bool { n++; return true })
+		})
+		return n
+	}
+	before := countNew()
+	if before == 0 {
+		t.Fatal("no new orders queued")
+	}
+	for i := 0; i < 3; i++ {
+		if err := delivery(ctx, db, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := countNew()
+	if after >= before {
+		t.Fatalf("delivery consumed nothing: %d -> %d", before, after)
+	}
+	// Delivered orders must have carriers.
+	db.Exec(ctx, func(tx *sqlite.Txn) error {
+		or, err := getRow(ctx, tx, tOrder, k3(1, 1, 1))
+		if err == nil && or.getF(oCarrier) == 0 {
+			t.Fatal("oldest order delivered without carrier")
+		}
+		return nil
+	})
+}
+
+func TestKeyEncodingOrder(t *testing.T) {
+	a := k3(1, 2, 3)
+	b := k3(1, 2, 10)
+	c := k3(1, 3, 0)
+	if !(string(a) < string(b) && string(b) < string(c)) {
+		t.Fatal("composite keys do not sort correctly")
+	}
+	if binary.BigEndian.Uint32(k1(77)) != 77 {
+		t.Fatal("k1 broken")
+	}
+}
+
+func TestLastNameSyllables(t *testing.T) {
+	if got := lastName(0); got != "BARBARBAR" {
+		t.Fatalf("lastName(0) = %q", got)
+	}
+	if got := lastName(371); got != "PRICALLYOUGHT" {
+		t.Fatalf("lastName(371) = %q", got)
+	}
+}
+
+func TestCustomerByNameIndex(t *testing.T) {
+	fs := backing()
+	cfg := tinyConfig()
+	ctx := sim.NewCtx(0, 1)
+	db, _ := sqlite.Open(ctx, fs, "tpcc.db", sqlite.Off)
+	if err := Load(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(ctx, func(tx *sqlite.Txn) error {
+		// Customer 3 has name lastName(3); the by-name lookup must find a
+		// customer with that exact name.
+		c, err := customerByName(ctx, tx, 1, 1, lastName(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 0 {
+			t.Fatal("indexed customer not found by name")
+		}
+		if lastName(c%1000) != lastName(3) {
+			t.Fatalf("wrong customer %d for name %s", c, lastName(3))
+		}
+		if c, _ := customerByName(ctx, tx, 1, 1, "NOSUCHNAME"); c != 0 {
+			t.Fatalf("phantom customer %d for unknown name", c)
+		}
+		return nil
+	})
+}
+
+func TestOrderStatusUsesCustomerLastOrder(t *testing.T) {
+	fs := backing()
+	cfg := tinyConfig()
+	ctx := sim.NewCtx(0, 2)
+	db, _ := sqlite.Open(ctx, fs, "tpcc.db", sqlite.Off)
+	if err := Load(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := Result{}
+	for i := 0; i < 40; i++ {
+		if err := newOrder(ctx, db, cfg, &res); err != nil && err != errAbort {
+			t.Fatal(err)
+		}
+	}
+	// Some customer must have a recorded last order consistent with the
+	// orders table.
+	found := false
+	db.Exec(ctx, func(tx *sqlite.Txn) error {
+		for c := 1; c <= cfg.Customers && !found; c++ {
+			cr, err := getRow(ctx, tx, tCustomer, k3(1, 1, c))
+			if err != nil {
+				continue
+			}
+			if last := int(cr.getF(cLastOrder)); last > 0 {
+				or, err := getRow(ctx, tx, tOrder, k3(1, 1, last))
+				if err != nil {
+					t.Fatalf("customer %d lastOrder %d missing from orders", c, last)
+				}
+				if int(or.getF(oCID)) != c {
+					t.Fatalf("order %d belongs to %d, not %d", last, or.getF(oCID), c)
+				}
+				found = true
+			}
+		}
+		return nil
+	})
+	if !found {
+		t.Skip("no orders landed in district 1 this seed")
+	}
+	if err := orderStatus(ctx, db, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

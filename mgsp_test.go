@@ -1,0 +1,111 @@
+package mgsp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mgsp"
+)
+
+// TestPublicAPIQuickstart exercises the documented package-level flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev := mgsp.NewDevice(64<<20, mgsp.ZeroCosts())
+	fs, err := mgsp.New(dev, mgsp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := mgsp.NewCtx(0, 42)
+	f, err := fs.Create(ctx, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("mgsp!"), 1000)
+	if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip failed")
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and recover through the public API.
+	dev.Recover()
+	fs2, err := mgsp.Mount(ctx, dev, mgsp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.Open(ctx, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.ReadAt(ctx, got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data lost across recovery")
+	}
+	if _, err := fs2.Open(ctx, "nope"); err != mgsp.ErrNotExist {
+		t.Fatalf("Open(missing) = %v", err)
+	}
+}
+
+func TestPublicAPIMultiWriter(t *testing.T) {
+	dev := mgsp.NewDevice(32<<20, mgsp.ZeroCosts())
+	fs, _ := mgsp.New(dev, mgsp.DefaultOptions())
+	ctx := mgsp.NewCtx(0, 1)
+	f, _ := fs.Create(ctx, "f")
+	f.WriteAt(ctx, make([]byte, 32768), 0)
+
+	mw, ok := f.(mgsp.MultiWriter)
+	if !ok {
+		t.Fatal("MGSP handle does not implement MultiWriter")
+	}
+	if err := mw.WriteMulti(ctx, []mgsp.Update{
+		{Off: 0, Data: []byte("head")},
+		{Off: 30000, Data: []byte("tail")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	f.ReadAt(ctx, buf, 30000)
+	if string(buf) != "tail" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestPublicAPILockModes(t *testing.T) {
+	opts := mgsp.DefaultOptions()
+	opts.Locking = mgsp.LockFile
+	dev := mgsp.NewDevice(16<<20, mgsp.ZeroCosts())
+	fs, err := mgsp.New(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Options().Locking != mgsp.LockFile {
+		t.Fatal("lock mode not applied")
+	}
+}
+
+// Example demonstrates the basic MGSP lifecycle: failure-atomic writes with
+// no fsync, crash, recovery.
+func Example() {
+	dev := mgsp.NewDevice(64<<20, mgsp.ZeroCosts())
+	fs, _ := mgsp.New(dev, mgsp.DefaultOptions())
+	ctx := mgsp.NewCtx(0, 1)
+
+	f, _ := fs.Create(ctx, "ledger")
+	f.WriteAt(ctx, []byte("balance=42"), 0) // synchronized atomic operation
+
+	dev.Recover() // power failure + restart
+	fs2, _ := mgsp.Mount(ctx, dev, mgsp.DefaultOptions())
+	f2, _ := fs2.Open(ctx, "ledger")
+	buf := make([]byte, 10)
+	f2.ReadAt(ctx, buf, 0)
+	fmt.Println(string(buf))
+	// Output: balance=42
+}
