@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race ## everything CI runs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real cross-goroutine concurrency: the MGSP
+# core (MGL, lock-free metadata log) and the background cleaner.
+race:
+	$(GO) test -race ./internal/core ./internal/cleaner
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

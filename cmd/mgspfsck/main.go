@@ -22,11 +22,20 @@ func main() {
 	crashAfter := flag.Int64("crash-after", 4000, "media operations before the injected crash")
 	seed := flag.Int64("seed", 1, "crash-tear PRNG seed")
 	save := flag.String("save", "", "save the crashed (pre-recovery) device image to this file for mgspdump")
+	cleanInt := flag.Int64("cleaner-interval", 0, "background cleaner pass interval in virtual ns (0 = disabled)")
+	cleanBudget := flag.Int64("cleaner-budget", 0, "blocks reclaimed per cleaner pass (0 = unbounded)")
 	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.CleanerInterval = *cleanInt
+	opts.CleanerBudget = *cleanBudget
 
 	fileSize := *fileMiB << 20
 	dev := nvm.New(fileSize*4+(64<<20), sim.DefaultCosts())
-	fs := core.MustNew(dev, core.DefaultOptions())
+	fs, err := core.New(dev, opts)
+	if err != nil {
+		fail(err)
+	}
 	ctx := sim.NewCtx(0, *seed)
 
 	f, err := fs.Create(ctx, "data")
@@ -64,6 +73,11 @@ func main() {
 	} else {
 		fmt.Printf("workload finished without reaching the fail point (%d writes)\n", completed)
 	}
+	if c := fs.Cleaner(); c != nil {
+		cs := c.Stats()
+		fmt.Printf("cleaner: %d passes, %d blocks reclaimed, %d checkpoints, %d log blocks outstanding\n",
+			cs.Passes, cs.BlocksReclaimed, cs.Checkpoints, fs.LogBlocks())
+	}
 	dev.DisarmCrash()
 	dev.Recover()
 	if *save != "" {
@@ -80,13 +94,16 @@ func main() {
 
 	wrote := dev.Stats().MediaWriteBytes.Load()
 	rctx := sim.NewCtx(1, *seed)
-	fs2, err := core.Mount(rctx, dev, core.DefaultOptions())
+	fs2, err := core.Mount(rctx, dev, opts)
 	if err != nil {
 		fail(fmt.Errorf("recovery failed: %w", err))
 	}
 	back := dev.Stats().MediaWriteBytes.Load() - wrote
 	fmt.Printf("recovery: %.2f ms virtual time, %.1f MiB written back\n",
 		float64(rctx.Now())/1e6, float64(back)/(1<<20))
+	st := fs2.Stats()
+	fmt.Printf("recovery replay: %d entries replayed, %d skipped as pre-checkpoint\n",
+		st.EntriesReplayed.Load(), st.EntriesSkipped.Load())
 
 	f2, err := fs2.Open(rctx, "data")
 	if err != nil {

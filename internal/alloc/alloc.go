@@ -139,6 +139,35 @@ func (a *Allocator) Free(ctx *sim.Ctx, off int64, n int64) {
 	a.free += n
 }
 
+// Extent names one contiguous run of blocks for batch release: the device
+// offset of the first block and the block count.
+type Extent struct {
+	Off int64
+	N   int64
+}
+
+// FreeBulk releases many extents under a single lock acquisition. The
+// background cleaner returns an entire subtree's logs at once; freeing them
+// block-run by block-run would serialize every foreground allocation behind
+// the cleaner's lock traffic. Validation matches Free (double frees panic).
+func (a *Allocator) FreeBulk(ctx *sim.Ctx, exts []Extent) {
+	if len(exts) == 0 {
+		return
+	}
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	for _, e := range exts {
+		b := a.blockOf(e.Off)
+		for i := b; i < b+e.N; i++ {
+			if !a.test(i) {
+				panic(fmt.Sprintf("alloc: double free of block %d (off %d)", i, e.Off))
+			}
+			a.clear(i)
+		}
+		a.free += e.N
+	}
+}
+
 // MarkAllocated records blocks as in use without charging time; recovery
 // scans use it to rebuild DRAM state from persistent metadata. Marking an
 // already-allocated block is an error (it indicates a recovery bug).

@@ -128,6 +128,42 @@ func TestDoubleFreePanics(t *testing.T) {
 	a.Free(ctx, off, 1)
 }
 
+func TestFreeBulk(t *testing.T) {
+	a, ctx := newTestAllocator(0, 64*4096, 4096)
+	var exts []Extent
+	for _, n := range []int64{3, 1, 5} {
+		off, err := a.AllocContig(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exts = append(exts, Extent{Off: off, N: n})
+	}
+	if a.FreeBlocks() != 64-9 {
+		t.Fatalf("free = %d, want %d", a.FreeBlocks(), 64-9)
+	}
+	a.FreeBulk(ctx, exts)
+	if a.FreeBlocks() != 64 || a.UsedBlocks() != 0 {
+		t.Fatalf("after FreeBulk: free=%d used=%d, want 64/0", a.FreeBlocks(), a.UsedBlocks())
+	}
+	// The released runs are allocatable again.
+	if _, err := a.AllocContig(ctx, 9); err != nil {
+		t.Fatalf("realloc after FreeBulk: %v", err)
+	}
+	a.FreeBulk(ctx, nil) // no-op
+}
+
+func TestFreeBulkDoubleFreePanics(t *testing.T) {
+	a, ctx := newTestAllocator(0, 8*4096, 4096)
+	off, _ := a.AllocContig(ctx, 2)
+	a.Free(ctx, off, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeBulk double free did not panic")
+		}
+	}()
+	a.FreeBulk(ctx, []Extent{{Off: off, N: 2}})
+}
+
 func TestMarkAllocatedForRecovery(t *testing.T) {
 	a, _ := newTestAllocator(0, 8*4096, 4096)
 	if err := a.MarkAllocated(4096, 2); err != nil {

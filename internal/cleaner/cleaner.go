@@ -1,0 +1,185 @@
+// Package cleaner schedules MGSP's background cleaning and checkpointing:
+// an epoch-based pass over the open files that writes cold shadow subtrees
+// back to their fallback, returns the freed log blocks to the allocator, and
+// persists a checkpoint record so recovery can skip pre-checkpoint metadata
+// replay. The paper has no online cleaner (logs live until file close); this
+// subsystem bounds the log footprint and the recovery time of long-running
+// workloads without touching the per-operation protocol.
+//
+// The package knows nothing about trees or logs — core.FS implements Target
+// — so the scheduling policy (interval, budget, adaptive backoff) is
+// testable against a fake in isolation.
+package cleaner
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"mgsp/internal/sim"
+)
+
+// PassResult reports one cleaning pass.
+type PassResult struct {
+	// BlocksReclaimed counts log blocks returned to the allocator.
+	BlocksReclaimed int64
+	// SubtreesCleaned counts cold subtrees written back and reclaimed.
+	SubtreesCleaned int
+	// Contended counts subtrees skipped because foreground operations held
+	// their locks — the adaptive-backoff signal.
+	Contended int
+	// Wrapped is true when the pass covered the whole namespace (no budget
+	// cut-off), making a checkpoint meaningful.
+	Wrapped bool
+}
+
+// Target is the file system the cleaner drives (implemented by core.FS).
+type Target interface {
+	// CleanPass incrementally writes back cold subtrees under try-locks,
+	// reclaiming at most budget log blocks (0 = unbounded) and resuming from
+	// the previous pass's cursor.
+	CleanPass(ctx *sim.Ctx, budget int64) PassResult
+	// Checkpoint quiesces in-flight operations and persists a checkpoint
+	// record; false means the quiesce gave up and no record was written.
+	Checkpoint(ctx *sim.Ctx) bool
+}
+
+// Config sets the cleaning policy.
+type Config struct {
+	// Interval is the virtual-time period between passes (nanoseconds).
+	Interval int64
+	// Budget caps the blocks reclaimed per pass; 0 = unbounded.
+	Budget int64
+	// MaxBackoff bounds the contention backoff: the effective interval never
+	// exceeds Interval*MaxBackoff. Defaults to 64.
+	MaxBackoff int64
+}
+
+// Cleaner runs cleaning passes in virtual time. The simulation has no
+// free-running threads, so foreground workers call MaybeRun after each
+// operation and the first to notice the interval elapsed donates its
+// goroutine; the pass's work is charged to the cleaner's private context,
+// modeling a background thread that contends for media bandwidth without
+// inflating any foreground clock.
+type Cleaner struct {
+	target Target
+	cfg    Config
+	ctx    *sim.Ctx
+
+	running  atomic.Bool
+	nextAt   atomic.Int64
+	interval atomic.Int64
+
+	passes      atomic.Int64
+	reclaimed   atomic.Int64
+	contended   atomic.Int64
+	checkpoints atomic.Int64
+}
+
+// New builds a cleaner over target; ctx is the cleaner's private context
+// (its virtual clock, and media tally if attribution is wanted).
+func New(target Target, cfg Config, ctx *sim.Ctx) *Cleaner {
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 64
+	}
+	c := &Cleaner{target: target, cfg: cfg, ctx: ctx}
+	c.interval.Store(cfg.Interval)
+	c.nextAt.Store(cfg.Interval)
+	return c
+}
+
+// MaybeRun runs one pass if the interval has elapsed at virtual time now.
+// Cheap when it is not yet time; at most one pass runs at once (concurrent
+// callers simply return). Reports whether a pass ran.
+func (c *Cleaner) MaybeRun(now int64) bool {
+	if now < c.nextAt.Load() {
+		return false
+	}
+	if !c.running.CompareAndSwap(false, true) {
+		return false
+	}
+	defer c.running.Store(false)
+	if now < c.nextAt.Load() {
+		return false // another pass got here first
+	}
+	c.run(now)
+	return true
+}
+
+// Force runs a pass unconditionally (tools and tests), waiting out any pass
+// already in flight.
+func (c *Cleaner) Force(now int64) {
+	for !c.running.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	defer c.running.Store(false)
+	c.run(now)
+}
+
+func (c *Cleaner) run(now int64) {
+	if now > c.ctx.Now() {
+		c.ctx.AdvanceTo(now)
+	}
+	res := c.target.CleanPass(c.ctx, c.cfg.Budget)
+	c.passes.Add(1)
+	c.reclaimed.Add(res.BlocksReclaimed)
+	c.contended.Add(int64(res.Contended))
+	if res.Wrapped && c.target.Checkpoint(c.ctx) {
+		c.checkpoints.Add(1)
+	}
+	c.adapt(res)
+	c.nextAt.Store(c.ctx.Now() + c.interval.Load())
+}
+
+// adapt is the contention backoff: a pass that skipped more subtrees to
+// foreground lock conflicts than it cleaned doubles the interval (bounded by
+// MaxBackoff); a conflict-free pass halves it back toward the configured
+// floor. This keeps the cleaner off hot locks so enabling it does not
+// regress the locking ablations.
+func (c *Cleaner) adapt(res PassResult) {
+	cur := c.interval.Load()
+	switch {
+	case res.Contended > res.SubtreesCleaned:
+		if next := cur * 2; next <= c.cfg.Interval*c.cfg.MaxBackoff {
+			c.interval.Store(next)
+		}
+	case res.Contended == 0 && cur > c.cfg.Interval:
+		next := cur / 2
+		if next < c.cfg.Interval {
+			next = c.cfg.Interval
+		}
+		c.interval.Store(next)
+	}
+}
+
+// Stats is a snapshot of the cleaner's cumulative counters.
+type Stats struct {
+	Passes          int64
+	BlocksReclaimed int64
+	Contended       int64
+	Checkpoints     int64
+}
+
+// Stats returns the counters.
+func (c *Cleaner) Stats() Stats {
+	return Stats{
+		Passes:          c.passes.Load(),
+		BlocksReclaimed: c.reclaimed.Load(),
+		Contended:       c.contended.Load(),
+		Checkpoints:     c.checkpoints.Load(),
+	}
+}
+
+// Interval returns the current (possibly backed-off) pass interval.
+func (c *Cleaner) Interval() int64 { return c.interval.Load() }
+
+// Ctx returns the cleaner's private context.
+func (c *Cleaner) Ctx() *sim.Ctx { return c.ctx }
+
+// MediaWriteBytes returns the media write traffic attributed to the
+// cleaner's context (0 when no tally is attached).
+func (c *Cleaner) MediaWriteBytes() int64 {
+	if c.ctx.Tally == nil {
+		return 0
+	}
+	return c.ctx.Tally.WriteBytes.Load()
+}

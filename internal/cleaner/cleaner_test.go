@@ -1,0 +1,158 @@
+package cleaner
+
+import (
+	"testing"
+
+	"mgsp/internal/sim"
+)
+
+// fakeTarget scripts PassResults and records calls.
+type fakeTarget struct {
+	results []PassResult
+	budgets []int64
+	ckptOK  bool
+	ckpts   int
+}
+
+func (t *fakeTarget) CleanPass(ctx *sim.Ctx, budget int64) PassResult {
+	t.budgets = append(t.budgets, budget)
+	if len(t.results) == 0 {
+		return PassResult{Wrapped: true}
+	}
+	r := t.results[0]
+	t.results = t.results[1:]
+	return r
+}
+
+func (t *fakeTarget) Checkpoint(ctx *sim.Ctx) bool {
+	t.ckpts++
+	return t.ckptOK
+}
+
+func newTestCleaner(tg *fakeTarget, cfg Config) *Cleaner {
+	return New(tg, cfg, sim.NewCtx(99, 1))
+}
+
+func TestMaybeRunGatesOnInterval(t *testing.T) {
+	tg := &fakeTarget{ckptOK: true}
+	c := newTestCleaner(tg, Config{Interval: 1000, Budget: 7})
+	if c.MaybeRun(999) {
+		t.Fatal("ran before the interval elapsed")
+	}
+	if !c.MaybeRun(1000) {
+		t.Fatal("did not run at the interval")
+	}
+	if got := c.Stats().Passes; got != 1 {
+		t.Fatalf("passes = %d, want 1", got)
+	}
+	if len(tg.budgets) != 1 || tg.budgets[0] != 7 {
+		t.Fatalf("budgets = %v, want [7]", tg.budgets)
+	}
+	// The next pass is gated a full interval after the first finished.
+	if c.MaybeRun(c.Ctx().Now() + c.Interval() - 1) {
+		t.Fatal("ran again before the next interval")
+	}
+	if !c.MaybeRun(c.Ctx().Now() + c.Interval()) {
+		t.Fatal("did not run at the next interval")
+	}
+}
+
+func TestCheckpointOnlyOnWrappedPass(t *testing.T) {
+	tg := &fakeTarget{
+		ckptOK: true,
+		results: []PassResult{
+			{Wrapped: false}, // budget cut the pass short
+			{Wrapped: true},
+		},
+	}
+	c := newTestCleaner(tg, Config{Interval: 10})
+	c.Force(10)
+	if tg.ckpts != 0 {
+		t.Fatal("checkpoint taken after a partial pass")
+	}
+	c.Force(c.Ctx().Now() + 10)
+	if tg.ckpts != 1 || c.Stats().Checkpoints != 1 {
+		t.Fatalf("ckpts = %d (stat %d), want 1", tg.ckpts, c.Stats().Checkpoints)
+	}
+}
+
+func TestFailedCheckpointNotCounted(t *testing.T) {
+	tg := &fakeTarget{ckptOK: false, results: []PassResult{{Wrapped: true}}}
+	c := newTestCleaner(tg, Config{Interval: 10})
+	c.Force(10)
+	if tg.ckpts != 1 {
+		t.Fatal("checkpoint not attempted")
+	}
+	if c.Stats().Checkpoints != 0 {
+		t.Fatal("failed checkpoint counted")
+	}
+}
+
+func TestAdaptiveBackoff(t *testing.T) {
+	tg := &fakeTarget{
+		ckptOK: true,
+		results: []PassResult{
+			{Contended: 3, SubtreesCleaned: 1, Wrapped: true}, // back off
+			{Contended: 5, SubtreesCleaned: 0, Wrapped: true}, // back off again
+			{Contended: 0, SubtreesCleaned: 2, Wrapped: true}, // recover
+			{Contended: 0, SubtreesCleaned: 0, Wrapped: true}, // recover to floor
+		},
+	}
+	c := newTestCleaner(tg, Config{Interval: 100, MaxBackoff: 4})
+	c.Force(100)
+	if got := c.Interval(); got != 200 {
+		t.Fatalf("interval after contention = %d, want 200", got)
+	}
+	c.Force(c.Ctx().Now())
+	if got := c.Interval(); got != 400 {
+		t.Fatalf("interval after more contention = %d, want 400", got)
+	}
+	// MaxBackoff=4 caps at 400: another contended pass must not double.
+	tg.results = append(tg.results[:0],
+		PassResult{Contended: 9, Wrapped: true},
+		PassResult{Contended: 0, Wrapped: true},
+		PassResult{Contended: 0, Wrapped: true},
+		PassResult{Contended: 0, Wrapped: true})
+	c.Force(c.Ctx().Now())
+	if got := c.Interval(); got != 400 {
+		t.Fatalf("interval exceeded MaxBackoff cap: %d", got)
+	}
+	c.Force(c.Ctx().Now())
+	if got := c.Interval(); got != 200 {
+		t.Fatalf("interval after calm pass = %d, want 200", got)
+	}
+	c.Force(c.Ctx().Now())
+	c.Force(c.Ctx().Now())
+	if got := c.Interval(); got != 100 {
+		t.Fatalf("interval did not return to the floor: %d", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	tg := &fakeTarget{
+		ckptOK: true,
+		results: []PassResult{
+			{BlocksReclaimed: 10, SubtreesCleaned: 2, Contended: 1, Wrapped: true},
+			{BlocksReclaimed: 5, Wrapped: true},
+		},
+	}
+	c := newTestCleaner(tg, Config{Interval: 10})
+	c.Force(10)
+	c.Force(c.Ctx().Now())
+	s := c.Stats()
+	if s.Passes != 2 || s.BlocksReclaimed != 15 || s.Contended != 1 || s.Checkpoints != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMediaWriteBytesWithoutTally(t *testing.T) {
+	c := newTestCleaner(&fakeTarget{}, Config{Interval: 10})
+	if c.MediaWriteBytes() != 0 {
+		t.Fatal("tally-less cleaner reported media bytes")
+	}
+	c.Ctx().Tally = &sim.MediaTally{}
+	c.Ctx().Tally.WriteBytes.Add(123)
+	if c.MediaWriteBytes() != 123 {
+		t.Fatal("tally not read")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mgsp/internal/cleaner"
 	"mgsp/internal/nvm"
 	"mgsp/internal/pmfile"
 	"mgsp/internal/sim"
@@ -12,12 +13,17 @@ import (
 
 const metaLogEntries = 128 // power of two; 32 entries per 4 KiB area
 
+// cleanerWorker is the sim worker id of the background cleaner's private
+// context, far above any foreground worker id so lock bookings and media
+// attribution never collide with user operations.
+const cleanerWorker = 1 << 20
+
 // MetaBytes returns the metadata reservation MGSP needs on a device of the
-// given size: the lock-free metadata log plus the node directory (records
-// for every possible leaf plus interior slack).
+// given size: the lock-free metadata log, the checkpoint cell, plus the node
+// directory (records for every possible leaf plus interior slack).
 func MetaBytes(devSize int64) int64 {
 	records := devSize/LeafSpan + devSize/LeafSpan/16 + 1024
-	return int64(metaLogEntries*entrySize) + records*recSize
+	return int64((metaLogEntries+1)*entrySize) + records*recSize
 }
 
 // FS is a mounted MGSP instance.
@@ -27,10 +33,23 @@ type FS struct {
 	costs *sim.Costs
 	opts  Options
 
-	dir  *directory
-	mlog *metaLog
+	dir     *directory
+	mlog    *metaLog
+	ckptOff int64 // device offset of the checkpoint cell
 
 	opSeq atomic.Uint32 // group ids for chained metadata entries
+
+	// epoch is the current cleaner epoch; committed metadata entries are
+	// stamped with its low 8 bits so recovery can skip entries the checkpoint
+	// already covers. Stays 0 (and is never persisted anywhere) while the
+	// cleaner is disabled.
+	epoch    atomic.Uint64
+	inFlight atomic.Int64 // operations between claim and retire (quiesce)
+
+	cleaner   *cleaner.Cleaner
+	cleanGen  atomic.Int64 // cleaner pass generation, for node coldness
+	cleanName string       // resume cursor: next file name ...
+	cleanOff  int64        // ... and offset within it
 
 	mu    sim.Mutex
 	files map[string]*file
@@ -44,7 +63,31 @@ func New(dev *nvm.Device, opts Options) (*FS, error) {
 		return nil, err
 	}
 	prov := pmfile.New(dev, MetaBytes(dev.Size()))
-	return mkFS(prov, opts), nil
+	fs := mkFS(prov, opts)
+	fs.invalidateCheckpointCell()
+	return fs, nil
+}
+
+// invalidateCheckpointCell zeroes any leftover checkpoint header and
+// directory high-water mark on a reused device: New formats a fresh file
+// system, so a stale checkpoint would corrupt a later Mount. Fresh (all-zero)
+// devices are left untouched, keeping cleaner-disabled runs bit-identical.
+func (fs *FS) invalidateCheckpointCell() {
+	dirty := false
+	offs := []int64{ckptEpoch, ckptPasses, ckptReclaimed, ckptCksum, ckptDirHW}
+	for _, o := range offs {
+		if fs.dev.Load8(fs.ckptOff+o) != 0 {
+			dirty = true
+		}
+	}
+	if !dirty {
+		return
+	}
+	ctx := sim.NewCtx(cleanerWorker, 0)
+	for _, o := range offs {
+		fs.dev.Store8(ctx, fs.ckptOff+o, 0)
+	}
+	fs.dev.Fence(ctx)
 }
 
 // MustNew is New for tests and benchmarks with known-good options.
@@ -59,15 +102,28 @@ func MustNew(dev *nvm.Device, opts Options) *FS {
 func mkFS(prov *pmfile.Provider, opts Options) *FS {
 	metaStart, metaSize := prov.MetaRegion()
 	mlogBytes := int64(metaLogEntries * entrySize)
-	return &FS{
-		prov:  prov,
-		dev:   prov.Device(),
-		costs: prov.Costs(),
-		opts:  opts,
-		mlog:  newMetaLog(prov.Device(), metaStart, metaLogEntries),
-		dir:   newDirectory(prov.Device(), metaStart+mlogBytes, metaSize-mlogBytes),
-		files: make(map[string]*file),
+	ckptOff := metaStart + mlogBytes
+	fs := &FS{
+		prov:    prov,
+		dev:     prov.Device(),
+		costs:   prov.Costs(),
+		opts:    opts,
+		mlog:    newMetaLog(prov.Device(), metaStart, metaLogEntries),
+		dir:     newDirectory(prov.Device(), ckptOff+entrySize, metaSize-mlogBytes-entrySize),
+		ckptOff: ckptOff,
+		files:   make(map[string]*file),
 	}
+	fs.dir.hwCell = ckptOff + ckptDirHW
+	if opts.CleanerInterval > 0 {
+		fs.dir.tracking = true
+		cctx := sim.NewCtx(cleanerWorker, 0)
+		cctx.Tally = &sim.MediaTally{}
+		fs.cleaner = cleaner.New(fs, cleaner.Config{
+			Interval: opts.CleanerInterval,
+			Budget:   opts.CleanerBudget,
+		}, cctx)
+	}
+	return fs
 }
 
 // Name implements vfs.FS.
@@ -113,6 +169,11 @@ type file struct {
 	lastWorker   atomic.Int64 // worker id + 1; 0 = none yet
 	multiUser    atomic.Bool
 	greedyActive atomic.Int64
+
+	// cleanerBusy is nonzero while the background cleaner works on this
+	// file's tree; greedy ops must then take real locks so the cleaner's
+	// subtree try-locks actually exclude them.
+	cleanerBusy atomic.Int64
 }
 
 // workerIntent tracks which intention modes a worker holds on a node.
@@ -128,6 +189,12 @@ func (fs *FS) Create(ctx *sim.Ctx, name string) (vfs.File, error) {
 	fs.mu.Lock(ctx)
 	defer fs.mu.Unlock(ctx)
 	if f := fs.files[name]; f != nil {
+		if fs.cleaner != nil {
+			// The cleaner walks the tree under sizeMu; discarding it out from
+			// underneath would free logs mid-walk.
+			f.sizeMu.Lock(ctx)
+			defer f.sizeMu.Unlock(ctx)
+		}
 		f.discardTree(ctx)
 		if _, err := fs.prov.Create(ctx, name); err != nil {
 			return nil, err
@@ -253,13 +320,19 @@ func (h *handle) Close(ctx *sim.Ctx) error {
 	f.fs.mu.Lock(ctx)
 	defer f.fs.mu.Unlock(ctx)
 	if f.refs.Add(-1) == 0 {
-		if f.removed {
-			f.discardTree(ctx)
-		} else {
-			f.writeback(ctx)
-		}
+		f.lastRefGone(ctx)
 	}
 	return nil
+}
+
+// lastRefGone runs the last-reference work: discard for removed files,
+// write-back otherwise. Callers hold fs.mu.
+func (f *file) lastRefGone(ctx *sim.Ctx) {
+	if f.removed {
+		f.discardTree(ctx)
+	} else {
+		f.writeback(ctx)
+	}
 }
 
 // Truncate implements vfs.File.

@@ -143,6 +143,18 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 	if live > 0 {
 		b.WriteString("  -> Mount would complete these operations during recovery\n")
 	}
+
+	// Checkpoint cell (background cleaner).
+	if ck, ok := readCheckpointCell(dev, fs.ckptOff); ok {
+		fmt.Fprintf(&b, "\ncheckpoint: epoch=%d cleaner-passes=%d blocks-reclaimed=%d\n",
+			ck.epoch, ck.passes, ck.reclaimed)
+		fmt.Fprintf(&b, "  -> Mount skips replay of metadata entries stamped before epoch %d\n", ck.epoch)
+	} else {
+		b.WriteString("\ncheckpoint: none (full replay on Mount)\n")
+	}
+	if hw := int64(dev.Load8(fs.ckptOff + ckptDirHW)); hw > 0 {
+		fmt.Fprintf(&b, "directory high-water mark: %d of %d records scanned on Mount\n", hw, fs.dir.cap)
+	}
 	return b.String(), nil
 }
 

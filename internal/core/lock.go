@@ -88,11 +88,14 @@ func (f *file) tryGreedy(ctx *sim.Ctx) bool {
 			}
 		}
 	}
-	if f.multiUser.Load() || f.refs.Load() != 1 {
+	if f.multiUser.Load() || f.refs.Load() != 1 || f.cleanerBusy.Load() != 0 {
 		return false
 	}
 	f.greedyActive.Add(1)
-	if f.multiUser.Load() {
+	if f.multiUser.Load() || f.cleanerBusy.Load() != 0 {
+		// Same drain protocol as multi-user demotion: the cleaner sets
+		// cleanerBusy then waits for greedyActive to reach zero, so this
+		// re-check after publishing our greedy claim closes the race.
 		f.greedyActive.Add(-1)
 		return false
 	}

@@ -44,6 +44,15 @@ type directory struct {
 	mu   sim.Mutex
 	next int64
 	free []int64
+
+	// hwCell, when tracking is set, is the device offset of the persisted
+	// directory high-water mark (the ckptDirHW word of the checkpoint cell);
+	// hwPersisted caches the last bound written. The mark never shrinks:
+	// record indices are reused through the free list, so lowering it could
+	// put live records beyond the recovery scan.
+	hwCell      int64
+	tracking    bool
+	hwPersisted int64
 }
 
 func newDirectory(dev *nvm.Device, base, size int64) *directory {
@@ -67,6 +76,7 @@ func (d *directory) create(ctx *sim.Ctx, slot, spanExp int, n *node) int64 {
 		idx = d.next
 		d.next++
 	}
+	d.noteHighWater(ctx, idx)
 	d.mu.Unlock(ctx)
 
 	var buf [recSize]byte
@@ -96,6 +106,26 @@ func (d *directory) clear(ctx *sim.Ctx, idx int64) {
 	d.mu.Unlock(ctx)
 }
 
+// hwChunk is the rounding granularity of the persisted high-water mark, so
+// steady-state record churn does not cost a persist per allocation.
+const hwChunk = 1024
+
+// noteHighWater persists an upper bound (exclusive) on live record indices so
+// recovery can stop its directory scan early. Callers hold d.mu (or are the
+// single-threaded mount path). No-op unless tracking is enabled.
+func (d *directory) noteHighWater(ctx *sim.Ctx, idx int64) {
+	if !d.tracking || idx < d.hwPersisted {
+		return
+	}
+	hw := (idx/hwChunk + 1) * hwChunk
+	if hw > d.cap {
+		hw = d.cap
+	}
+	d.hwPersisted = hw
+	d.dev.Store8(ctx, d.hwCell, uint64(hw))
+	d.dev.Fence(ctx)
+}
+
 // ---- lock-free metadata log (§III-C1) ----
 
 const (
@@ -106,7 +136,7 @@ const (
 	entSlot   = 8
 	entOffset = 16
 	entSize   = 24
-	entMeta   = 32 // count(8b) | chainIdx(8b) | chainLen(8b) | pad | group(32b)
+	entMeta   = 32 // count(8b) | chainIdx(8b) | chainLen(8b) | epoch(8b) | group(32b)
 	entCksum  = 40
 	entData   = 48 // 10 slots x 8 bytes
 )
@@ -158,7 +188,7 @@ func (m *metaLog) claim(ctx *sim.Ctx, worker int) int {
 // atomically because entries persist in order and recovery only applies
 // complete chains.
 func (m *metaLog) commit(ctx *sim.Ctx, i int, fileSlot int, offset, length, fileSize int64,
-	slots []bitmapSlot, group uint32, chainIdx, chainLen int) {
+	slots []bitmapSlot, group uint32, chainIdx, chainLen int, epoch uint8) {
 	if len(slots) > entrySlots {
 		panic(fmt.Sprintf("core: %d bitmap slots exceed the %d per entry", len(slots), entrySlots))
 	}
@@ -167,7 +197,8 @@ func (m *metaLog) commit(ctx *sim.Ctx, i int, fileSlot int, offset, length, file
 	binary.LittleEndian.PutUint64(buf[entSlot:], uint64(fileSlot))
 	binary.LittleEndian.PutUint64(buf[entOffset:], uint64(offset))
 	binary.LittleEndian.PutUint64(buf[entSize:], uint64(fileSize))
-	meta := uint64(len(slots)) | uint64(chainIdx)<<8 | uint64(chainLen)<<16 | uint64(group)<<32
+	meta := uint64(len(slots)) | uint64(chainIdx)<<8 | uint64(chainLen)<<16 |
+		uint64(epoch)<<24 | uint64(group)<<32
 	binary.LittleEndian.PutUint64(buf[entMeta:], meta)
 	for k, s := range slots {
 		binary.LittleEndian.PutUint64(buf[entData+k*8:],
@@ -209,6 +240,62 @@ type logEntry struct {
 	group    uint32
 	chainIdx int
 	chainLen int
+	epoch    uint8
+}
+
+// ---- checkpoint cell ----
+//
+// One extra 128-byte cell between the metadata log and the node directory
+// persists the cleaner's checkpoint: the epoch below which Mount may skip
+// metadata-log replay (everything older has been written back to the
+// fallback), plus cumulative pass counters for tools. The cell's ckptDirHW
+// word independently tracks the directory high-water mark so recovery can
+// bound its record scan; it is written by noteHighWater and deliberately
+// excluded from the header checksum.
+
+const (
+	ckptEpoch     = 0
+	ckptPasses    = 8
+	ckptReclaimed = 16
+	ckptCksum     = 24
+	ckptHdrBytes  = 32
+	ckptDirHW     = 56
+)
+
+type checkpoint struct {
+	epoch     uint64
+	passes    uint64
+	reclaimed uint64
+}
+
+// writeCheckpointCell persists the checkpoint header with one non-temporal
+// write and a fence. A torn header fails the CRC and reads as "no
+// checkpoint", which only costs recovery speed, never correctness.
+func writeCheckpointCell(ctx *sim.Ctx, dev *nvm.Device, off int64, ck checkpoint) {
+	var buf [ckptHdrBytes]byte
+	binary.LittleEndian.PutUint64(buf[ckptEpoch:], ck.epoch)
+	binary.LittleEndian.PutUint64(buf[ckptPasses:], ck.passes)
+	binary.LittleEndian.PutUint64(buf[ckptReclaimed:], ck.reclaimed)
+	binary.LittleEndian.PutUint64(buf[ckptCksum:], uint64(crc32.ChecksumIEEE(buf[:ckptCksum])))
+	dev.WriteNT(ctx, buf[:], off)
+	dev.Fence(ctx)
+}
+
+// readCheckpointCell decodes the checkpoint header; ok is false when no
+// checkpoint was ever taken (epoch 0, or an all-zero cell) or the header is
+// torn.
+func readCheckpointCell(dev *nvm.Device, off int64) (ck checkpoint, ok bool) {
+	var buf [ckptHdrBytes]byte
+	for i := 0; i < ckptHdrBytes; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], dev.Load8(off+int64(i)))
+	}
+	if binary.LittleEndian.Uint64(buf[ckptCksum:]) != uint64(crc32.ChecksumIEEE(buf[:ckptCksum])) {
+		return ck, false
+	}
+	ck.epoch = binary.LittleEndian.Uint64(buf[ckptEpoch:])
+	ck.passes = binary.LittleEndian.Uint64(buf[ckptPasses:])
+	ck.reclaimed = binary.LittleEndian.Uint64(buf[ckptReclaimed:])
+	return ck, ck.epoch > 0
 }
 
 // decodeEntry validates and decodes a metadata log entry read from the
@@ -235,6 +322,7 @@ func decodeEntry(b []byte) (e logEntry, ok bool) {
 	e.fileSize = int64(binary.LittleEndian.Uint64(b[entSize:]))
 	e.chainIdx = int(meta >> 8 & 0xFF)
 	e.chainLen = int(meta >> 16 & 0xFF)
+	e.epoch = uint8(meta >> 24)
 	e.group = uint32(meta >> 32)
 	for k := 0; k < count; k++ {
 		w := binary.LittleEndian.Uint64(b[entData+k*8:])

@@ -121,6 +121,25 @@ func (l *mglLock) TryLock(ctx *sim.Ctx, mode lockMode) bool {
 	return true
 }
 
+// TryLockHint is TryLock, additionally reporting on failure whether the
+// conflict came only from intention holders (no R/W): the background cleaner
+// then descends to child locks — the try-lock analogue of LockLazy's
+// handling of sticky intentions — instead of counting an idle worker's
+// cached intent as real contention.
+func (l *mglLock) TryLockHint(ctx *sim.Ctx, mode lockMode) (ok, intentOnly bool) {
+	l.mu.Lock()
+	l.init()
+	if !l.grantable(mode) {
+		intentOnly = l.r == 0 && l.w == 0
+		l.mu.Unlock()
+		return false, intentOnly
+	}
+	l.grant(ctx, mode)
+	l.mu.Unlock()
+	ctx.Advance(lockCostAtomic)
+	return true, false
+}
+
 // LockLazy acquires mode, except that when the only remaining conflict is
 // intention locks it returns false instead of waiting — sticky intentions
 // left by lazy cleaning are never released by their (idle) owners, so the

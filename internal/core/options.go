@@ -57,9 +57,24 @@ type Options struct {
 	LazyIntentionCleaning bool
 	// MinSearchTree enables the cached minimum search subtree (§III-B1).
 	MinSearchTree bool
+	// CleanerInterval is the virtual-time period (nanoseconds) between
+	// background cleaner passes: cold shadow subtrees are written back, their
+	// log blocks reclaimed, and a checkpoint record persisted so Mount skips
+	// replay of pre-checkpoint metadata entries (see internal/cleaner and
+	// DESIGN.md §7). Zero disables the cleaner — the paper's behavior, where
+	// logs are only written back at close and during recovery — leaving all
+	// existing ablations bit-identical. Negative values are invalid.
+	CleanerInterval int64
+	// CleanerBudget caps the log blocks one cleaner pass may reclaim; the
+	// next pass resumes where the previous one stopped. Zero means an
+	// unbounded pass; negative values are invalid. Ignored while
+	// CleanerInterval is zero.
+	CleanerBudget int64
 }
 
 // DefaultOptions returns the full MGSP configuration evaluated in the paper.
+// The background cleaner is off by default (the paper has no online cleaner);
+// set CleanerInterval to enable it for sustained-write workloads.
 func DefaultOptions() Options {
 	return Options{
 		Degree:                64,
@@ -78,6 +93,12 @@ func (o Options) validate() error {
 	}
 	if o.SubBits < 1 || o.SubBits > 16 || o.SubBits&(o.SubBits-1) != 0 {
 		return fmt.Errorf("core: SubBits %d must be a power of two in [1,16]", o.SubBits)
+	}
+	if o.CleanerInterval < 0 {
+		return fmt.Errorf("core: CleanerInterval %d must not be negative", o.CleanerInterval)
+	}
+	if o.CleanerBudget < 0 {
+		return fmt.Errorf("core: CleanerBudget %d must not be negative", o.CleanerBudget)
 	}
 	return nil
 }

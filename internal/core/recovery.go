@@ -34,6 +34,24 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 	}
 	fs := mkFS(prov, opts)
 
+	// Checkpoint fast path: a persisted checkpoint means the cleaner wrote
+	// back everything up to its epoch, and the directory high-water mark
+	// bounds the record scan. The mark is honored even when this mount runs
+	// without a cleaner — and kept maintained (tracking), or later records
+	// could land beyond a bound a future mount still trusts.
+	ck, ckOK := readCheckpointCell(dev, fs.ckptOff)
+	if ckOK {
+		fs.epoch.Store(ck.epoch)
+	}
+	scanTo := fs.dir.cap
+	if hw := int64(dev.Load8(fs.ckptOff + ckptDirHW)); hw > 0 {
+		if hw < scanTo {
+			scanTo = hw
+		}
+		fs.dir.tracking = true
+		fs.dir.hwPersisted = hw
+	}
+
 	bySlot := make(map[int]*file)
 	for name, pf := range prov.Files() {
 		f := fs.newFile(pf, name)
@@ -47,7 +65,7 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 	var buf [recSize]byte
 	var maxIdx int64 = -1
 	used := make(map[int64]bool)
-	for idx := int64(0); idx < fs.dir.cap; idx++ {
+	for idx := int64(0); idx < scanTo; idx++ {
 		tag := dev.Load8(fs.dir.off(idx) + recTag)
 		ctx.Advance(fs.costs.IndexStep)
 		if tag&tagInUse == 0 {
@@ -89,6 +107,11 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 			fs.dir.free = append(fs.dir.free, idx)
 		}
 	}
+	if fs.dir.tracking && maxIdx >= 0 {
+		// First mount with tracking on an image that had no mark yet: persist
+		// a bound covering everything the scan found.
+		fs.dir.noteHighWater(ctx, maxIdx)
+	}
 
 	// Pass 3: metadata log replay — complete chains only.
 	type chainKey struct {
@@ -105,14 +128,24 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		}
 		chains[chainKey{e.fileSlot, e.group}] = append(chains[chainKey{e.fileSlot, e.group}], e)
 	}
+	ckEpoch := uint8(fs.epoch.Load())
 	for key, es := range chains {
 		if len(es) != es[0].chainLen {
 			continue // incomplete chain: the operation never committed
+		}
+		if ckOK && int8(es[0].epoch-ckEpoch) < 0 {
+			// Stamped strictly before the checkpoint epoch (signed 8-bit
+			// window): the cleaner already wrote those subtrees back, so the
+			// entry's bitmap flips are dead and may reference records the
+			// cleaner has since retired.
+			fs.stats.EntriesSkipped.Add(int64(len(es)))
+			continue
 		}
 		f := bySlot[key.slot]
 		if f == nil {
 			continue
 		}
+		fs.stats.EntriesReplayed.Add(int64(len(es)))
 		for _, e := range es {
 			for _, s := range e.slots {
 				n := nodes[s.recIdx]

@@ -27,6 +27,17 @@ type Stats struct {
 	// MetaEntries counts metadata-log entries committed (including chain
 	// extensions).
 	MetaEntries atomic.Int64
+	// CleanerPasses, BlocksReclaimed and CheckpointsTaken count background
+	// cleaner activity: completed passes, 4 KiB log blocks returned to the
+	// allocator, and checkpoint records persisted. All zero while the
+	// cleaner is disabled.
+	CleanerPasses    atomic.Int64
+	BlocksReclaimed  atomic.Int64
+	CheckpointsTaken atomic.Int64
+	// EntriesReplayed / EntriesSkipped count metadata-log entries applied vs
+	// skipped (stamped before the checkpoint epoch) during Mount recovery.
+	EntriesReplayed atomic.Int64
+	EntriesSkipped  atomic.Int64
 }
 
 // Stats returns the live counters.

@@ -36,6 +36,11 @@ type node struct {
 	// cleared before existing is set again (lazy bitmap cleaning, §III-B2).
 	stale atomic.Bool
 
+	// touch is the cleaner generation of the last write touching this node;
+	// a subtree whose touch lags the current generation is cold and eligible
+	// for write-back. Only maintained while the cleaner is enabled.
+	touch atomic.Int64
+
 	lock mglLock
 }
 

@@ -37,6 +37,11 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	f := h.f
 	fs := f.fs
 	fs.stats.Writes.Add(1)
+	// Enter the in-flight window (checkpoint quiesce) first; the deferred
+	// exit runs after the lock release below (LIFO), so the cleaner's
+	// piggyback pass never starts while this op holds node locks.
+	fs.inFlight.Add(1)
+	defer fs.opExit(ctx)
 	end := off + int64(len(p))
 
 	// Make room: file capacity (underlying fallocate+mmap) and tree height.
@@ -123,6 +128,11 @@ func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64
 		chainLen = 1
 	}
 	group := fs.opSeq.Add(1)
+	// Stamp the current cleaner epoch (0 forever while the cleaner is off).
+	// Read inside the in-flight window: the checkpoint quiesce waits for this
+	// op to retire, so an entry can never carry an epoch older than a
+	// checkpoint that excludes it.
+	epoch := uint8(fs.epoch.Load())
 	extra := make([]int, 0, chainLen-1)
 	for i := 1; i < chainLen; i++ {
 		e := fs.mlog.claim(ctx, ctx.ID+i)
@@ -132,7 +142,7 @@ func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64
 		if hi > len(slots) {
 			hi = len(slots)
 		}
-		fs.mlog.commit(ctx, e, f.pf.Slot(), off, length, newSize, slots[lo:hi], group, i, chainLen)
+		fs.mlog.commit(ctx, e, f.pf.Slot(), off, length, newSize, slots[lo:hi], group, i, chainLen, epoch)
 	}
 	first := slots
 	if len(first) > entrySlots {
@@ -140,7 +150,7 @@ func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64
 	}
 	// The first entry persists last: it completes the chain, making it the
 	// commit point.
-	fs.mlog.commit(ctx, entry, f.pf.Slot(), off, length, newSize, first, group, 0, chainLen)
+	fs.mlog.commit(ctx, entry, f.pf.Slot(), off, length, newSize, first, group, 0, chainLen, epoch)
 	fs.stats.MetaEntries.Add(int64(chainLen))
 
 	for _, c := range changes {
@@ -171,6 +181,7 @@ func (f *file) writeTo(ctx *sim.Ctx, w dataWrite) {
 // (undo role) — either way exactly one data write (§III-B1, Figure 3).
 func (f *file) planInterior(ctx *sim.Ctx, s segment, data []byte) (dataWrite, wordChange, error) {
 	n := s.n
+	f.touchNode(n)
 	f.ensureRecord(ctx, n)
 	old := n.word.Load()
 	var dst *node
@@ -211,6 +222,7 @@ func (f *file) planLeaf(ctx *sim.Ctx, s segment, data []byte,
 // sub-unit must toggle exactly once per operation).
 func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 	writes []dataWrite, changes []wordChange) ([]dataWrite, []wordChange, error) {
+	f.touchNode(n)
 	f.ensureRecord(ctx, n)
 	unit := int64(LeafSpan / f.subBits())
 	base := n.offset()

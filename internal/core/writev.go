@@ -30,6 +30,10 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	}
 	f := h.f
 	fs := f.fs
+	// In-flight window for the checkpoint quiesce; exits after lock release
+	// (LIFO defers), see WriteAt.
+	fs.inFlight.Add(1)
+	defer fs.opExit(ctx)
 
 	// Validate and find the op's extent.
 	var maxEnd int64

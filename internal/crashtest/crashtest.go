@@ -59,6 +59,11 @@ type Config struct {
 	Make func(dev *nvm.Device) vfs.FS
 	// Mount recovers it after a crash.
 	Mount Mounter
+	// AltMount, when set, recovers a second copy of the crashed image through
+	// an alternate path (e.g. with the checkpoint record invalidated) and the
+	// sweep asserts both mounts see identical file contents. This checks that
+	// recovery fast paths are pure optimizations.
+	AltMount Mounter
 	// DevSize sizes the device.
 	DevSize int64
 	// FileSize is the dense pre-filled region the script writes into.
@@ -148,6 +153,15 @@ func runOnce(script []Op, cfg Config, fail int64) (completed bool, err error) {
 	}
 	dev.Recover()
 
+	// Snapshot the crashed image before Mount mutates it, so AltMount sees
+	// the same post-crash state.
+	var img bytes.Buffer
+	if cfg.AltMount != nil {
+		if err := dev.Save(&img); err != nil {
+			return false, err
+		}
+	}
+
 	rctx := sim.NewCtx(1, fail)
 	fs2, err := cfg.Mount(rctx, dev)
 	if err != nil {
@@ -160,6 +174,31 @@ func runOnce(script []Op, cfg Config, fail int64) (completed bool, err error) {
 	got := make([]byte, cfg.FileSize)
 	if _, err := f2.ReadAt(rctx, got, 0); err != nil {
 		return false, err
+	}
+
+	if cfg.AltMount != nil {
+		dev2, err := nvm.LoadImage(&img, func(int64) *nvm.Device {
+			return nvm.New(cfg.DevSize, sim.ZeroCosts())
+		})
+		if err != nil {
+			return false, err
+		}
+		actx := sim.NewCtx(2, fail)
+		afs, err := cfg.AltMount(actx, dev2)
+		if err != nil {
+			return false, fmt.Errorf("alt recovery: %w", err)
+		}
+		af, err := afs.Open(actx, "crash.dat")
+		if err != nil {
+			return false, fmt.Errorf("open after alt recovery: %w", err)
+		}
+		got2 := make([]byte, cfg.FileSize)
+		if _, err := af.ReadAt(actx, got2, 0); err != nil {
+			return false, err
+		}
+		if !bytes.Equal(got2, got) {
+			return false, fmt.Errorf("alternate mount recovered different contents")
+		}
 	}
 
 	switch level {

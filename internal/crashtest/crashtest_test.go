@@ -52,6 +52,39 @@ func TestSweepMGSPDegree4(t *testing.T) {
 	}
 }
 
+// TestSweepMGSPCleanerCheckpoint crashes at every stride-th media op while
+// the background cleaner runs aggressively (interval 1 → a pass after nearly
+// every op, so crashes land mid-cleaning and mid-checkpoint). The AltMount
+// re-recovers each crashed image with the checkpoint record invalidated and
+// the harness asserts identical contents: the checkpoint fast path must be a
+// pure optimization.
+func TestSweepMGSPCleanerCheckpoint(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CleanerInterval = 1
+	script := Script(30, fileSize, 20000, 0, 29)
+	cfg := Config{
+		Make: func(dev *nvm.Device) vfs.FS {
+			return core.MustNew(dev, opts)
+		},
+		Mount: func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) {
+			return core.Mount(ctx, dev, opts)
+		},
+		AltMount: func(ctx *sim.Ctx, dev *nvm.Device) (vfs.FS, error) {
+			core.DropCheckpoint(ctx, dev)
+			return core.Mount(ctx, dev, opts)
+		},
+		DevSize:  devSize,
+		FileSize: fileSize,
+	}
+	res, err := Sweep(script, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 20 || !res.Completed {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}
+
 func TestSweepNOVA(t *testing.T) {
 	script := Script(40, fileSize, 20000, 0, 13)
 	cfg := Config{

@@ -126,6 +126,9 @@ func (d *Device) Read(ctx *sim.Ctx, buf []byte, off int64) {
 	d.check(off, len(buf))
 	copy(buf, d.mem[off:off+int64(len(buf))])
 	d.stats.MediaReadBytes.Add(int64(len(buf)))
+	if ctx.Tally != nil {
+		ctx.Tally.ReadBytes.Add(int64(len(buf)))
+	}
 	ctx.Advance(d.costs.NVMReadLat)
 	d.timeline.Reserve(ctx, int64(float64(len(buf))*d.costs.NVMReadPerByte))
 }
@@ -160,6 +163,9 @@ func (d *Device) WriteNT(ctx *sim.Ctx, data []byte, off int64) {
 	d.clearDirty(off, len(data))
 	d.stats.MediaWriteBytes.Add(int64(len(data)))
 	d.stats.MediaOps.Add(1)
+	if ctx.Tally != nil {
+		ctx.Tally.WriteBytes.Add(int64(len(data)))
+	}
 	ctx.Advance(d.costs.NVMWriteLat)
 	d.timeline.Reserve(ctx, d.costs.WriteCost(len(data))-d.costs.NVMWriteLat)
 }
@@ -202,6 +208,9 @@ func (d *Device) Flush(ctx *sim.Ctx, off int64, n int) int {
 	d.stats.MediaWriteBytes.Add(int64(nb))
 	d.stats.Flushes.Add(1)
 	d.stats.MediaOps.Add(1)
+	if ctx.Tally != nil {
+		ctx.Tally.WriteBytes.Add(int64(nb))
+	}
 	ctx.Advance(int64(len(lines)) * d.costs.CacheLineFlush)
 	d.timeline.Reserve(ctx, d.costs.WriteCost(nb)-d.costs.NVMWriteLat)
 	return nb
@@ -255,6 +264,9 @@ func (d *Device) Store8(ctx *sim.Ctx, off int64, v uint64) {
 	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(v)
 	d.stats.MediaWriteBytes.Add(8)
 	d.stats.MediaOps.Add(1)
+	if ctx.Tally != nil {
+		ctx.Tally.WriteBytes.Add(8)
+	}
 	ctx.Advance(d.costs.NVMWriteLat)
 }
 
@@ -274,6 +286,9 @@ func (d *Device) CAS8(ctx *sim.Ctx, off int64, old, new uint64) bool {
 	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(new)
 	d.stats.MediaWriteBytes.Add(8)
 	d.stats.MediaOps.Add(1)
+	if ctx.Tally != nil {
+		ctx.Tally.WriteBytes.Add(8)
+	}
 	ctx.Advance(d.costs.NVMWriteLat)
 	return true
 }

@@ -86,6 +86,11 @@ func (p *Provider) Alloc() *alloc.Allocator { return p.alloc }
 // MetaRegion returns the library-private metadata region [start, start+size).
 func (p *Provider) MetaRegion() (start, size int64) { return p.metaStart, p.metaSize }
 
+// MetaStart returns the fixed device offset where the library-private
+// metadata region begins (right after the file table), letting tools locate
+// library structures on a raw image without constructing a Provider.
+func MetaStart() int64 { return tableSize }
+
 // DataStart returns the first device offset managed by the allocator (used
 // to index per-block metadata arrays).
 func (p *Provider) DataStart() int64 { return p.metaStart + p.metaSize }

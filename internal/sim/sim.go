@@ -20,7 +20,17 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
+
+// MediaTally accumulates the media traffic attributable to one worker (or one
+// subsystem, e.g. the background cleaner). The device-wide counters in
+// nvm.Stats cannot separate foreground from background traffic; a context
+// carrying a tally gets its own per-byte attribution on top of them.
+type MediaTally struct {
+	ReadBytes  atomic.Int64
+	WriteBytes atomic.Int64
+}
 
 // Ctx is a per-worker simulation context. Exactly one goroutine may use a Ctx
 // at a time; workloads create one Ctx per worker thread.
@@ -30,6 +40,10 @@ type Ctx struct {
 	ID int
 	// Rand is the worker-private PRNG used by workload generators.
 	Rand *rand.Rand
+	// Tally, when non-nil, receives per-context media traffic attribution
+	// from the device (benchmarks use it to report background-writer I/O
+	// separately from foreground I/O).
+	Tally *MediaTally
 
 	now int64 // virtual nanoseconds
 }
