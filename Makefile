@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench cover
 
 ci: vet build test race ## everything CI runs
 
@@ -14,9 +14,18 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real cross-goroutine concurrency: the MGSP
-# core (MGL, lock-free metadata log) and the background cleaner.
+# core (MGL, lock-free metadata log, snapshot readers vs writers), the
+# background cleaner, the snapshot manager (clone under concurrent writes),
+# and the crash sweeps.
 race:
-	$(GO) test -race ./internal/core ./internal/cleaner
+	$(GO) test -race ./internal/core ./internal/cleaner ./internal/snapshot ./internal/crashtest
+
+# Coverage over the crash-consistency core. Keep internal/core above ~80%:
+# uncovered lines there are usually recovery/commit paths that only a new
+# fail-point sweep would exercise — add the sweep, not an exclusion.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/core,./internal/alloc,./internal/snapshot ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

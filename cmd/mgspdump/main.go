@@ -1,6 +1,8 @@
 // Command mgspdump inspects a saved MGSP device image (see cmd/mgspfsck
 // -save): it prints the file table, each file's shadow-log tree with bitmap
-// states, and the metadata-log entries — the fsck-style forensic view of the
+// states, the metadata-log entries, and the snapshot table — live snapshot
+// ids with their frozen sizes, creation epochs, and pinned block counts,
+// plus any drop still in progress — the fsck-style forensic view of the
 // structures described in §III of the paper.
 //
 //	mgspfsck -save crash.img

@@ -1,0 +1,104 @@
+// Snapshots: freeze a file in O(metadata) time while writers keep going,
+// then clone the frozen image into a new file — the consistent-backup
+// pattern snapshots exist for. The snapshot is copy-on-write over the
+// shadow tree: taking it writes one metadata-log entry, and only blocks
+// the writers actually touch afterwards are relocated.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"mgsp"
+	"mgsp/internal/snapshot"
+)
+
+func main() {
+	dev := mgsp.NewDevice(256<<20, mgsp.DefaultCosts())
+	fs, err := mgsp.New(dev, mgsp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := mgsp.NewCtx(0, 42)
+
+	// Lay out a 16 MiB "database" file.
+	const fileSize = 16 << 20
+	f, err := fs.Create(ctx, "db.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := bytes.Repeat([]byte("committed-state "), fileSize/16)
+	if _, err := f.WriteAt(ctx, img, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Take the snapshot: constant media cost no matter the file size.
+	mgr := snapshot.New(fs)
+	before := dev.Stats().MediaWriteBytes.Load()
+	id, err := mgr.Take(ctx, "db.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %d of %d MiB taken for %d media bytes\n",
+		id, fileSize>>20, dev.Stats().MediaWriteBytes.Load()-before)
+
+	// Writers keep hammering the live file while we clone the frozen image.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx := mgsp.NewCtx(10+w, int64(w))
+			junk := bytes.Repeat([]byte{0xA0 + byte(w)}, 4096)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := wctx.Rand.Int63n(fileSize/4096) * 4096
+				if _, err := f.WriteAt(wctx, junk, off); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+
+	if err := mgr.Clone(ctx, "db.dat", id, "backup.dat"); err != nil {
+		log.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The clone is the exact pre-snapshot image, untorn by the writers.
+	bf, err := fs.Open(ctx, "backup.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, fileSize)
+	if _, err := bf.ReadAt(ctx, got, 0); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		log.Fatal("clone was torn by concurrent writers!")
+	}
+	fmt.Println("clone matches the frozen image exactly — writers never blocked")
+
+	infos, err := fs.Snapshots(ctx, "db.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range infos {
+		fmt.Printf("snapshot %d: frozen-size=%d MiB, %d blocks pinned by copy-on-write\n",
+			s.ID, s.Size>>20, s.PinnedBlocks)
+	}
+
+	// Drop the snapshot: pins are released and the space is reclaimed.
+	if err := mgr.Drop(ctx, "db.dat", id); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("snapshot dropped; pinned blocks reclaimed")
+}

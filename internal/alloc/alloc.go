@@ -26,6 +26,7 @@ type Allocator struct {
 	free      int64
 	hint      int64
 	bitmap    []uint64 // 1 = allocated
+	refs      []uint16 // per-block reference count; nonzero iff bitmap bit set
 	costs     *sim.Costs
 }
 
@@ -42,6 +43,7 @@ func New(start, size, blockSize int64, costs *sim.Costs) *Allocator {
 		nblocks:   n,
 		free:      n,
 		bitmap:    make([]uint64, (n+63)/64),
+		refs:      make([]uint16, n),
 		costs:     costs,
 	}
 }
@@ -116,6 +118,7 @@ func (a *Allocator) scan(lo, hi, n int64) (int64, bool) {
 func (a *Allocator) take(b, n int64) int64 {
 	for i := b; i < b+n; i++ {
 		a.set(i)
+		a.refs[i] = 1
 	}
 	a.free -= n
 	a.hint = b + n
@@ -125,18 +128,54 @@ func (a *Allocator) take(b, n int64) int64 {
 	return a.start + b*a.blockSize
 }
 
-// Free releases n blocks starting at device offset off.
+// Free drops one reference on each of the n blocks starting at device offset
+// off, releasing a block when its count reaches zero. Freeing an unallocated
+// block (a double free / refcount underflow) panics: it means a caller lost
+// track of block ownership, which on real hardware would hand the same NVM
+// block to two files.
 func (a *Allocator) Free(ctx *sim.Ctx, off int64, n int64) {
 	b := a.blockOf(off)
 	a.mu.Lock(ctx)
 	defer a.mu.Unlock(ctx)
 	for i := b; i < b+n; i++ {
-		if !a.test(i) {
-			panic(fmt.Sprintf("alloc: double free of block %d (off %d)", i, off))
-		}
-		a.clear(i)
+		a.unref(i, off)
 	}
-	a.free += n
+}
+
+// unref drops one reference on block i; callers hold a.mu. off is the caller's
+// extent offset, for the panic message only.
+func (a *Allocator) unref(i, off int64) {
+	if !a.test(i) || a.refs[i] == 0 {
+		panic(fmt.Sprintf("alloc: double free of block %d (off %d)", i, off))
+	}
+	a.refs[i]--
+	if a.refs[i] == 0 {
+		a.clear(i)
+		a.free++
+	}
+}
+
+// Ref takes one additional reference on each of the n blocks starting at off
+// (snapshot pinning). The blocks must be allocated.
+func (a *Allocator) Ref(ctx *sim.Ctx, off, n int64) {
+	b := a.blockOf(off)
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	for i := b; i < b+n; i++ {
+		if !a.test(i) {
+			panic(fmt.Sprintf("alloc: ref of unallocated block %d (off %d)", i, off))
+		}
+		if a.refs[i] == ^uint16(0) {
+			panic(fmt.Sprintf("alloc: refcount overflow on block %d (off %d)", i, off))
+		}
+		a.refs[i]++
+	}
+}
+
+// RefCount returns the reference count of the block containing off (0 when
+// free). Racy by nature; exact only under the caller's own synchronization.
+func (a *Allocator) RefCount(off int64) int {
+	return int(a.refs[a.blockOf(off)])
 }
 
 // Extent names one contiguous run of blocks for batch release: the device
@@ -149,7 +188,8 @@ type Extent struct {
 // FreeBulk releases many extents under a single lock acquisition. The
 // background cleaner returns an entire subtree's logs at once; freeing them
 // block-run by block-run would serialize every foreground allocation behind
-// the cleaner's lock traffic. Validation matches Free (double frees panic).
+// the cleaner's lock traffic. Validation matches Free (double frees and
+// refcount underflows panic).
 func (a *Allocator) FreeBulk(ctx *sim.Ctx, exts []Extent) {
 	if len(exts) == 0 {
 		return
@@ -159,12 +199,8 @@ func (a *Allocator) FreeBulk(ctx *sim.Ctx, exts []Extent) {
 	for _, e := range exts {
 		b := a.blockOf(e.Off)
 		for i := b; i < b+e.N; i++ {
-			if !a.test(i) {
-				panic(fmt.Sprintf("alloc: double free of block %d (off %d)", i, e.Off))
-			}
-			a.clear(i)
+			a.unref(i, e.Off)
 		}
-		a.free += e.N
 	}
 }
 
@@ -178,9 +214,27 @@ func (a *Allocator) MarkAllocated(off, n int64) error {
 			return fmt.Errorf("alloc: block %d already allocated during recovery", i)
 		}
 		a.set(i)
+		a.refs[i] = 1
 	}
 	a.free -= n
 	return nil
+}
+
+// MarkRef is the recovery-scan variant of MarkAllocated for blocks that may
+// legitimately be referenced by several persistent records (a live tree node
+// and one or more snapshot pins): the first mark allocates the block, later
+// marks bump its reference count.
+func (a *Allocator) MarkRef(off, n int64) {
+	b := a.blockOf(off)
+	for i := b; i < b+n; i++ {
+		if a.test(i) {
+			a.refs[i]++
+			continue
+		}
+		a.set(i)
+		a.refs[i] = 1
+		a.free--
+	}
 }
 
 // Reset frees every block (between benchmark phases).
@@ -188,8 +242,24 @@ func (a *Allocator) Reset() {
 	for i := range a.bitmap {
 		a.bitmap[i] = 0
 	}
+	for i := range a.refs {
+		a.refs[i] = 0
+	}
 	a.free = a.nblocks
 	a.hint = 0
+}
+
+// Range calls fn for every allocated block (device offset, reference count)
+// in address order until fn returns false. Racy against concurrent
+// allocation; intended for offline audits (fsck) and reports.
+func (a *Allocator) Range(fn func(off int64, refs int) bool) {
+	for i := int64(0); i < a.nblocks; i++ {
+		if a.test(i) {
+			if !fn(a.start+i*a.blockSize, int(a.refs[i])) {
+				return
+			}
+		}
+	}
 }
 
 // Allocated reports whether the block containing off is allocated.

@@ -257,3 +257,144 @@ func TestUsedBlocks(t *testing.T) {
 		t.Fatalf("UsedBlocks = %d, want 5", got)
 	}
 }
+
+// TestRefcounts drives the snapshot-pinning reference-count path through a
+// table of scenarios, including double frees and refcount underflow, which
+// must panic rather than silently hand one block to two owners.
+func TestRefcounts(t *testing.T) {
+	cases := []struct {
+		name      string
+		run       func(a *Allocator, ctx *sim.Ctx)
+		wantPanic bool
+		wantUsed  int64
+	}{
+		{
+			name: "ref then free keeps block until last unref",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.Alloc(ctx)
+				a.Ref(ctx, off, 1) // refs = 2
+				a.Free(ctx, off, 1)
+				if !a.Allocated(off) {
+					panic("block freed while still referenced")
+				}
+				if got := a.RefCount(off); got != 1 {
+					panic("refcount after unref wrong")
+				}
+				a.Free(ctx, off, 1)
+			},
+			wantUsed: 0,
+		},
+		{
+			name: "fresh alloc starts at refcount 1",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.Alloc(ctx)
+				if a.RefCount(off) != 1 {
+					panic("fresh block refcount != 1")
+				}
+			},
+			wantUsed: 1,
+		},
+		{
+			name: "double free panics",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.Alloc(ctx)
+				a.Free(ctx, off, 1)
+				a.Free(ctx, off, 1)
+			},
+			wantPanic: true,
+		},
+		{
+			name: "refcount underflow via FreeBulk panics",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.AllocContig(ctx, 4)
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 4}})
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 4}})
+			},
+			wantPanic: true,
+		},
+		{
+			name: "FreeBulk partial underflow panics",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.AllocContig(ctx, 2)
+				a.Ref(ctx, off, 1) // first block refs=2, second refs=1
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 2}})
+				// First block survives (refs 1), second is free again.
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 2}})
+			},
+			wantPanic: true,
+		},
+		{
+			name: "ref of unallocated block panics",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				a.Ref(ctx, 0, 1)
+			},
+			wantPanic: true,
+		},
+		{
+			name: "MarkRef allocates then bumps",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				a.MarkRef(4096, 2)
+				a.MarkRef(4096, 1)
+				if a.RefCount(4096) != 2 || a.RefCount(2*4096) != 1 {
+					panic("MarkRef counts wrong")
+				}
+				a.Free(ctx, 4096, 2) // 4096 down to 1 ref, 8192 freed
+				a.Free(ctx, 4096, 1)
+			},
+			wantUsed: 0,
+		},
+		{
+			name: "bulk free of multi-ref extent",
+			run: func(a *Allocator, ctx *sim.Ctx) {
+				off, _ := a.AllocContig(ctx, 8)
+				a.Ref(ctx, off, 8)
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 8}})
+				for i := int64(0); i < 8; i++ {
+					if !a.Allocated(off + i*4096) {
+						panic("pinned extent freed early")
+					}
+				}
+				a.FreeBulk(ctx, []Extent{{Off: off, N: 8}})
+			},
+			wantUsed: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, ctx := newTestAllocator(0, 64*4096, 4096)
+			panicked := false
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				tc.run(a, ctx)
+			}()
+			if panicked != tc.wantPanic {
+				t.Fatalf("panicked = %v, want %v", panicked, tc.wantPanic)
+			}
+			if !tc.wantPanic {
+				if got := a.UsedBlocks(); got != tc.wantUsed {
+					t.Fatalf("UsedBlocks = %d, want %d", got, tc.wantUsed)
+				}
+			}
+		})
+	}
+}
+
+func TestRangeVisitsAllocatedBlocks(t *testing.T) {
+	a, ctx := newTestAllocator(0, 16*4096, 4096)
+	off, _ := a.AllocContig(ctx, 3)
+	a.Ref(ctx, off+4096, 1)
+	var offs []int64
+	var counts []int
+	a.Range(func(o int64, refs int) bool {
+		offs = append(offs, o)
+		counts = append(counts, refs)
+		return true
+	})
+	if len(offs) != 3 || offs[0] != off || counts[1] != 2 || counts[0] != 1 {
+		t.Fatalf("Range = %v / %v", offs, counts)
+	}
+}

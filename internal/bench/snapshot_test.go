@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestSnapshotShape is the acceptance check for the snapshot subsystem's
+// performance claims: creation is O(metadata) — the same small number of
+// media bytes at every file size — and the overwrite fast path stays at the
+// paper's ~2 media writes per 4 KiB block when no snapshot pins it.
+func TestSnapshotShape(t *testing.T) {
+	sc := tiny()
+	tb, err := Snapshot(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tb.Cells[0][0]
+	for i, row := range tb.Rows {
+		create := tb.Cell(row, "create-bytes")
+		if create != first {
+			t.Errorf("%s: snapshot creation cost %.0f B differs from %.0f B — not O(metadata)", row, create, first)
+		}
+		if create > 512 {
+			t.Errorf("%s: snapshot creation wrote %.0f B; want a single log entry's worth", row, create)
+		}
+		// 4 KiB data + one metadata-log commit + retire, with headroom for
+		// the occasional interior toggle.
+		if ow := tb.Cells[i][1]; ow > 4096+512 {
+			t.Errorf("%s: fast-path overwrite %.0f B/op; want ~2 media writes", row, ow)
+		}
+		// CoW adds the one-time per-block relocation (survivor copies) but
+		// must stay the same order of magnitude, not degrade to journaling's
+		// 2x data writes.
+		if cow := tb.Cells[i][2]; cow > 2*4096 {
+			t.Errorf("%s: CoW overwrite %.0f B/op; want < 2 data writes per op", row, cow)
+		}
+		if tb.Cells[i][3] <= 0 {
+			t.Errorf("%s: no pinned blocks reported under live snapshot", row)
+		}
+	}
+}

@@ -140,6 +140,12 @@ func (f *file) cleanFile(ctx *sim.Ctx, gen, startOff int64, remaining *int64, re
 	if f.root.Load() == nil {
 		return true, 0
 	}
+	if f.maxLiveSnap.Load() != 0 {
+		// Live snapshots freeze the fallback and pin log blocks; write-back
+		// and reclamation would tear the frozen views. Skip the whole file —
+		// its logs are reclaimed once the last snapshot is dropped.
+		return true, 0
+	}
 	// Suspend greedy locking while the cleaner works on this tree: a greedy
 	// op takes one covering lock and skips ancestors, which would bypass the
 	// subtree try-locks below. Same drain protocol as multi-user demotion.

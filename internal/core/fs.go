@@ -51,6 +51,15 @@ type FS struct {
 	cleanName string       // resume cursor: next file name ...
 	cleanOff  int64        // ... and offset within it
 
+	// snapSeq is the global snapshot sequence: every snapshot takes a fresh
+	// id from it, and every node record stores the value current at its
+	// creation (birth). Volatile; Mount restores a value at least as large as
+	// any persisted id, which is all monotonicity needs.
+	snapSeq atomic.Uint64
+	// snapAdmin serializes snapshot creation and drop across the FS (both are
+	// rare control-plane operations; data-plane CoW never takes it).
+	snapAdmin sim.Mutex
+
 	mu    sim.Mutex
 	files map[string]*file
 
@@ -174,6 +183,16 @@ type file struct {
 	// file's tree; greedy ops must then take real locks so the cleaner's
 	// subtree try-locks actually exclude them.
 	cleanerBusy atomic.Int64
+
+	// maxLiveSnap is the newest live snapshot id of this file (0 = none).
+	// Nonzero switches writes into copy-on-write mode: any committed mutation
+	// of a recorded node pins the node's frozen state first, and overwrites
+	// of valid units relocate to a fresh log block instead of toggling
+	// through the (frozen) fallback.
+	maxLiveSnap atomic.Uint64
+	snapMu      sync.Mutex       // guards snaps and pins (taken after treeMu)
+	snaps       []*snapshot      // live snapshots, ascending id
+	pins        map[*node][]*pin // per-node frozen views, ascending pin id
 }
 
 // workerIntent tracks which intention modes a worker holds on a node.
@@ -189,6 +208,10 @@ func (fs *FS) Create(ctx *sim.Ctx, name string) (vfs.File, error) {
 	fs.mu.Lock(ctx)
 	defer fs.mu.Unlock(ctx)
 	if f := fs.files[name]; f != nil {
+		if f.maxLiveSnap.Load() != 0 {
+			// Truncating the tree would destroy the pinned views.
+			return nil, ErrHasSnapshots
+		}
 		if fs.cleaner != nil {
 			// The cleaner walks the tree under sizeMu; discarding it out from
 			// underneath would free logs mid-walk.
@@ -233,6 +256,9 @@ func (fs *FS) Remove(ctx *sim.Ctx, name string) error {
 	f := fs.files[name]
 	if f == nil {
 		return vfs.ErrNotExist
+	}
+	if f.maxLiveSnap.Load() != 0 {
+		return ErrHasSnapshots
 	}
 	delete(fs.files, name)
 	f.removed = true
@@ -341,6 +367,9 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 		return vfs.ErrClosed
 	}
 	f := h.f
+	if f.maxLiveSnap.Load() != 0 {
+		return ErrHasSnapshots
+	}
 	ctx.Advance(f.fs.costs.Syscall + f.fs.costs.VFSOp)
 	f.sizeMu.Lock(ctx)
 	defer f.sizeMu.Unlock(ctx)

@@ -58,6 +58,17 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 		records, valid, existing int
 		logBytes                 int64
 	}
+	// Snapshot pin records are censused separately: they are frozen copies,
+	// not live tree state.
+	type pinRec struct {
+		slot    int
+		spanExp int
+		nidx    int64
+		id      uint64
+		word    uint64
+		logOff  int64
+	}
+	var pinRecs []pinRec
 	counts := make(map[key]*census)
 	total := 0
 	for idx := int64(0); idx < fs.dir.cap; idx++ {
@@ -65,10 +76,15 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 		if tag&tagInUse == 0 {
 			continue
 		}
-		total++
-		slot, spanExp, _ := unpackTag(tag)
+		slot, spanExp, nidx := unpackTag(tag)
 		word := dev.Load8(fs.dir.off(idx) + recWord)
 		logOff := int64(dev.Load8(fs.dir.off(idx) + recLogOff))
+		if tag&tagSnap != 0 {
+			pinRecs = append(pinRecs, pinRec{slot, spanExp, nidx,
+				dev.Load8(fs.dir.off(idx) + recSnapID), word, logOff})
+			continue
+		}
+		total++
 		k := key{slot, spanExp}
 		c := counts[k]
 		if c == nil {
@@ -121,7 +137,20 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 			name, fmtSize(span), c.records, c.valid, c.existing, fmtSize(c.logBytes))
 	}
 
-	// Metadata log.
+	// Metadata log. Snapshot create entries are long-lived (they ARE the live
+	// snapshots); everything else is an in-flight operation.
+	kindName := map[int]string{
+		entKindOp:         "op",
+		entKindSnapCreate: "snap-create",
+		entKindSnapDrop:   "snap-drop",
+		entKindOpSnap:     "op-cow",
+	}
+	type snapEnt struct {
+		idx int
+		e   logEntry
+	}
+	var snapCreates []snapEnt
+	dropIDs := make(map[uint64]bool)
 	live := 0
 	var ebuf [entrySize]byte
 	var liveLines []string
@@ -131,10 +160,18 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 		if !ok {
 			continue
 		}
+		switch e.kind {
+		case entKindSnapCreate:
+			snapCreates = append(snapCreates, snapEnt{i, e})
+			continue
+		case entKindSnapDrop:
+			dropIDs[uint64(e.offset)] = true
+		}
 		live++
+		slots := len(e.slots) + len(e.snaps)
 		liveLines = append(liveLines, fmt.Sprintf(
-			"  entry %-3d file-slot=%d off=%d len=%d size=%d slots=%d chain=%d/%d group=%d",
-			i, e.fileSlot, e.offset, e.length, e.fileSize, len(e.slots), e.chainIdx+1, e.chainLen, e.group))
+			"  entry %-3d kind=%-11s file-slot=%d off=%d len=%d size=%d slots=%d chain=%d/%d group=%d",
+			i, kindName[e.kind], e.fileSlot, e.offset, e.length, e.fileSize, slots, e.chainIdx+1, e.chainLen, e.group))
 	}
 	fmt.Fprintf(&b, "\nmetadata log: %d entries, %d live (uncommitted or unreplayed)\n", fs.mlog.entries, live)
 	for _, l := range liveLines {
@@ -142,6 +179,71 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 	}
 	if live > 0 {
 		b.WriteString("  -> Mount would complete these operations during recovery\n")
+	}
+
+	// Snapshot table: live snapshots (create entry present, no cancelling
+	// drop) with the blocks their pins keep alive. A pin serves a snapshot
+	// when it is that node's smallest pin id >= the snapshot id; only those
+	// blocks are chargeable to the snapshot.
+	fmt.Fprintf(&b, "\nsnapshots: %d live\n", func() int {
+		n := 0
+		for _, sc := range snapCreates {
+			if !dropIDs[uint64(sc.e.offset)] {
+				n++
+			}
+		}
+		return n
+	}())
+	sort.Slice(snapCreates, func(i, j int) bool {
+		return uint64(snapCreates[i].e.offset) < uint64(snapCreates[j].e.offset)
+	})
+	type nodeKey struct {
+		slot    int
+		spanExp int
+		nidx    int64
+	}
+	pinsByNode := make(map[nodeKey][]pinRec)
+	for _, p := range pinRecs {
+		k := nodeKey{p.slot, p.spanExp, p.nidx}
+		pinsByNode[k] = append(pinsByNode[k], p)
+	}
+	for _, ps := range pinsByNode {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	}
+	for _, sc := range snapCreates {
+		id := uint64(sc.e.offset)
+		if dropIDs[id] {
+			fmt.Fprintf(&b, "  snap %-6d file-slot=%d (drop in progress; Mount completes it)\n", id, sc.e.fileSlot)
+			continue
+		}
+		var pins, blocks int64
+		for k, ps := range pinsByNode {
+			if k.slot != sc.e.fileSlot {
+				continue
+			}
+			for _, p := range ps {
+				if p.id >= id {
+					pins++
+					if p.logOff != 0 && pinRefsLog(k.spanExp == 0, p.word) {
+						span := int64(LeafSpan)
+						for e := 0; e < k.spanExp; e++ {
+							span *= int64(opts.Degree)
+						}
+						blocks += span / LeafSpan
+					}
+					break
+				}
+			}
+		}
+		name := bySlot[sc.e.fileSlot]
+		if name == "" {
+			name = fmt.Sprintf("(slot %d)", sc.e.fileSlot)
+		}
+		fmt.Fprintf(&b, "  snap %-6d %-24s frozen-size=%-12d epoch=%-3d pins=%-5d pinned-blocks=%d\n",
+			id, name, sc.e.fileSize, sc.e.epoch, pins, blocks)
+	}
+	if len(pinRecs) > 0 {
+		fmt.Fprintf(&b, "  pin records: %d total\n", len(pinRecs))
 	}
 
 	// Checkpoint cell (background cleaner).

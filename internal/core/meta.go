@@ -20,12 +20,19 @@ import (
 // the same scan.
 
 const (
-	recSize   = 64
-	recTag    = 0
-	recLogOff = 8
-	recWord   = 16
+	recSize    = 64
+	recTag     = 0
+	recLogOff  = 8
+	recWord    = 16
+	recBirth   = 24 // global snapshot sequence when the record was created
+	recSnapID  = 32 // pin records: the snapshot sequence the pin freezes up to
 
 	tagInUse = uint64(1) << 63
+	// tagSnap marks a snapshot pin record: a frozen (logOff, word) copy of a
+	// tree node taken at first copy-on-write after a snapshot. Pin records
+	// share the directory with live node records but are not part of any
+	// live tree; recovery routes them to the per-file pin tables.
+	tagSnap = uint64(1) << 62
 )
 
 func packTag(slot int, spanExp int, idx int64) uint64 {
@@ -33,7 +40,7 @@ func packTag(slot int, spanExp int, idx int64) uint64 {
 }
 
 func unpackTag(tag uint64) (slot, spanExp int, idx int64) {
-	return int(tag >> 48 & 0x7FFF), int(tag >> 40 & 0xFF), int64(tag & (1<<40 - 1))
+	return int(tag >> 48 & 0x3FFF), int(tag >> 40 & 0xFF), int64(tag & (1<<40 - 1))
 }
 
 type directory struct {
@@ -61,8 +68,11 @@ func newDirectory(dev *nvm.Device, base, size int64) *directory {
 
 func (d *directory) off(idx int64) int64 { return d.base + idx*recSize }
 
-// create persists a fresh record for node n and returns its index.
-func (d *directory) create(ctx *sim.Ctx, slot, spanExp int, n *node) int64 {
+// create persists a fresh record (tag with all flag bits already set, log
+// location, bitmap word, birth sequence, and — for pin records — the pinned
+// snapshot sequence) and returns its index. The body persists and is fenced
+// before the tag store publishes it.
+func (d *directory) create(ctx *sim.Ctx, tag uint64, logOff int64, word, birth, snapID uint64) int64 {
 	d.mu.Lock(ctx)
 	var idx int64
 	if len(d.free) > 0 {
@@ -80,11 +90,13 @@ func (d *directory) create(ctx *sim.Ctx, slot, spanExp int, n *node) int64 {
 	d.mu.Unlock(ctx)
 
 	var buf [recSize]byte
-	binary.LittleEndian.PutUint64(buf[recLogOff:], uint64(n.logOff))
-	binary.LittleEndian.PutUint64(buf[recWord:], n.word.Load())
+	binary.LittleEndian.PutUint64(buf[recLogOff:], uint64(logOff))
+	binary.LittleEndian.PutUint64(buf[recWord:], word)
+	binary.LittleEndian.PutUint64(buf[recBirth:], birth)
+	binary.LittleEndian.PutUint64(buf[recSnapID:], snapID)
 	d.dev.WriteNT(ctx, buf[8:], d.off(idx)+8)
 	d.dev.Fence(ctx)
-	d.dev.Store8(ctx, d.off(idx)+recTag, packTag(slot, spanExp, n.idx))
+	d.dev.Store8(ctx, d.off(idx)+recTag, tag)
 	return idx
 }
 
@@ -138,8 +150,38 @@ const (
 	entSize   = 24
 	entMeta   = 32 // count(8b) | chainIdx(8b) | chainLen(8b) | epoch(8b) | group(32b)
 	entCksum  = 40
-	entData   = 48 // 10 slots x 8 bytes
+	entData   = 48 // 10 slots x 8 bytes (16 bytes for snap-op slots)
 )
+
+// Entry kinds, packed into the high byte of the entSlot word (file slots
+// occupy only the low byte). Kind 0 keeps the paper's original op-entry
+// format bit-identical.
+const (
+	entKindOp         = 0 // bitmap-flip operation entry (original format)
+	entKindSnapCreate = 1 // live snapshot: stays in the log until dropped
+	entKindSnapDrop   = 2 // snapshot drop in progress (transient)
+	entKindOpSnap     = 3 // op entry with 16-byte slots (word flips + log swaps)
+)
+
+// Snap-op slot kinds (entKindOpSnap entries).
+const (
+	snapSlotWord    = 0 // bitmap word transition, like bitmapSlot
+	snapSlotLogSwap = 1 // record's private log replaced by a fresh block
+)
+
+// snapOpSlots is the 16-byte-slot capacity of one entKindOpSnap entry.
+const snapOpSlots = 5
+
+// snapSlot is one 16-byte slot of an entKindOpSnap entry: a word transition
+// (kind snapSlotWord) or a private-log replacement (kind snapSlotLogSwap,
+// payload = the new log offset). Copy-on-write commits need both for one
+// node, atomically, which is why these ops use the wide format.
+type snapSlot struct {
+	recIdx   int64
+	kind     int
+	old, new uint16
+	logOff   int64
+}
 
 // bitmapSlot records one node's bitmap transition: the record index, the
 // old word (undo) and the new word (redo). Only valid bits need recording;
@@ -213,6 +255,60 @@ func (m *metaLog) commit(ctx *sim.Ctx, i int, fileSlot int, offset, length, file
 	m.dev.Fence(ctx)
 }
 
+// commitSnap persists one entry of a snapshot-mode operation chain: same
+// header layout as commit, but kind entKindOpSnap with 16-byte slots so a
+// copy-on-write log swap (new log offset) can ride in the same atomic entry
+// as the node's word flip.
+func (m *metaLog) commitSnap(ctx *sim.Ctx, i int, fileSlot int, offset, length, fileSize int64,
+	slots []snapSlot, group uint32, chainIdx, chainLen int, epoch uint8) {
+	if len(slots) > snapOpSlots {
+		panic(fmt.Sprintf("core: %d snap slots exceed the %d per entry", len(slots), snapOpSlots))
+	}
+	var buf [entrySize]byte
+	binary.LittleEndian.PutUint64(buf[entLen:], uint64(length))
+	binary.LittleEndian.PutUint64(buf[entSlot:], uint64(fileSlot)|uint64(entKindOpSnap)<<56)
+	binary.LittleEndian.PutUint64(buf[entOffset:], uint64(offset))
+	binary.LittleEndian.PutUint64(buf[entSize:], uint64(fileSize))
+	meta := uint64(len(slots)) | uint64(chainIdx)<<8 | uint64(chainLen)<<16 |
+		uint64(epoch)<<24 | uint64(group)<<32
+	binary.LittleEndian.PutUint64(buf[entMeta:], meta)
+	for k, s := range slots {
+		binary.LittleEndian.PutUint64(buf[entData+k*16:],
+			uint64(uint32(s.recIdx))|uint64(s.kind)<<32)
+		var payload uint64
+		if s.kind == snapSlotLogSwap {
+			payload = uint64(s.logOff)
+		} else {
+			payload = uint64(s.old) | uint64(s.new)<<16
+		}
+		binary.LittleEndian.PutUint64(buf[entData+k*16+8:], payload)
+	}
+	n := entrySize
+	if len(slots) <= 1 {
+		n = 64
+	}
+	binary.LittleEndian.PutUint64(buf[entCksum:], entryChecksum(buf[:n]))
+	m.dev.WriteNT(ctx, buf[:n], m.off(i))
+	m.dev.Fence(ctx)
+}
+
+// commitSnapshotMark persists a snapshot lifecycle entry (entKindSnapCreate
+// or entKindSnapDrop): the snapshot sequence number rides in the offset
+// field and the frozen file size in the size field. A create entry is the
+// snapshot's commit point and persistent existence — it is NOT retired until
+// the snapshot is dropped, so it permanently occupies one metadata-log slot.
+func (m *metaLog) commitSnapshotMark(ctx *sim.Ctx, i, kind, fileSlot int, snapID uint64, fileSize int64, epoch uint8) {
+	var buf [entrySize]byte
+	binary.LittleEndian.PutUint64(buf[entLen:], 1)
+	binary.LittleEndian.PutUint64(buf[entSlot:], uint64(fileSlot)|uint64(kind)<<56)
+	binary.LittleEndian.PutUint64(buf[entOffset:], snapID)
+	binary.LittleEndian.PutUint64(buf[entSize:], uint64(fileSize))
+	binary.LittleEndian.PutUint64(buf[entMeta:], uint64(epoch)<<24)
+	binary.LittleEndian.PutUint64(buf[entCksum:], entryChecksum(buf[:64]))
+	m.dev.WriteNT(ctx, buf[:64], m.off(i))
+	m.dev.Fence(ctx)
+}
+
 // retire marks the entry outdated ("the length in the log will be set to 0")
 // and releases the claim.
 func (m *metaLog) retire(ctx *sim.Ctx, i int) {
@@ -232,11 +328,13 @@ func entryChecksum(b []byte) uint64 {
 
 // logEntry is a decoded metadata-log entry.
 type logEntry struct {
+	kind     int
 	fileSlot int
-	offset   int64
+	offset   int64 // snapshot entries: the snapshot sequence number
 	length   int64
 	fileSize int64
 	slots    []bitmapSlot
+	snaps    []snapSlot // entKindOpSnap only
 	group    uint32
 	chainIdx int
 	chainLen int
@@ -305,19 +403,40 @@ func decodeEntry(b []byte) (e logEntry, ok bool) {
 	if e.length == 0 {
 		return e, false
 	}
+	slotWord := binary.LittleEndian.Uint64(b[entSlot:])
+	e.kind = int(slotWord >> 56)
 	meta := binary.LittleEndian.Uint64(b[entMeta:])
 	count := int(meta & 0xFF)
-	if count > entrySlots {
-		return e, false
-	}
-	n := entrySize
-	if count <= 2 {
+	var n int
+	switch e.kind {
+	case entKindOp:
+		if count > entrySlots {
+			return e, false
+		}
+		n = entrySize
+		if count <= 2 {
+			n = 64
+		}
+	case entKindOpSnap:
+		if count > snapOpSlots {
+			return e, false
+		}
+		n = entrySize
+		if count <= 1 {
+			n = 64
+		}
+	case entKindSnapCreate, entKindSnapDrop:
+		if count != 0 {
+			return e, false
+		}
 		n = 64
+	default:
+		return e, false
 	}
 	if entryChecksum(b[:n]) != binary.LittleEndian.Uint64(b[entCksum:]) {
 		return e, false
 	}
-	e.fileSlot = int(binary.LittleEndian.Uint64(b[entSlot:]))
+	e.fileSlot = int(slotWord & (1<<56 - 1))
 	e.offset = int64(binary.LittleEndian.Uint64(b[entOffset:]))
 	e.fileSize = int64(binary.LittleEndian.Uint64(b[entSize:]))
 	e.chainIdx = int(meta >> 8 & 0xFF)
@@ -325,6 +444,19 @@ func decodeEntry(b []byte) (e logEntry, ok bool) {
 	e.epoch = uint8(meta >> 24)
 	e.group = uint32(meta >> 32)
 	for k := 0; k < count; k++ {
+		if e.kind == entKindOpSnap {
+			a := binary.LittleEndian.Uint64(b[entData+k*16:])
+			p := binary.LittleEndian.Uint64(b[entData+k*16+8:])
+			s := snapSlot{recIdx: int64(uint32(a)), kind: int(a >> 32 & 0xFF)}
+			if s.kind == snapSlotLogSwap {
+				s.logOff = int64(p)
+			} else {
+				s.old = uint16(p)
+				s.new = uint16(p >> 16)
+			}
+			e.snaps = append(e.snaps, s)
+			continue
+		}
 		w := binary.LittleEndian.Uint64(b[entData+k*8:])
 		e.slots = append(e.slots, bitmapSlot{
 			recIdx: int64(uint32(w)),

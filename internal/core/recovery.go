@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mgsp/internal/nvm"
 	"mgsp/internal/pmfile"
@@ -60,7 +61,23 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		bySlot[pf.Slot()] = f
 	}
 
-	// Pass 2: node directory scan.
+	// Pass 2: node directory scan. Live tree records rebuild the radix trees;
+	// snapshot pin records (tagSnap) are collected and attached after the
+	// snapshot table itself is recovered from the metadata log, because
+	// whether a pin is still needed depends on which snapshots are live.
+	// Blocks are re-registered with MarkRef: a log block may legitimately be
+	// referenced by a live record AND one or more pins.
+	type pendPin struct {
+		f      *file
+		span   int64
+		nidx   int64
+		recIdx int64
+		id     uint64
+		logOff int64
+		word   uint64
+	}
+	var pendPins []pendPin
+	var maxSeq uint64 // running max of births, pin ids and snapshot ids
 	nodes := make(map[int64]*node) // recIdx -> node
 	var buf [recSize]byte
 	var maxIdx int64 = -1
@@ -83,23 +100,39 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		for e := 0; e < spanExp; e++ {
 			span *= int64(opts.Degree)
 		}
+		logOff := int64(le64(buf[recLogOff:]))
+		word := le64(buf[recWord:])
+		birth := le64(buf[recBirth:])
+		if birth > maxSeq {
+			maxSeq = birth
+		}
+		used[idx] = true
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+		if tag&tagSnap != 0 {
+			id := le64(buf[recSnapID:])
+			if id > maxSeq {
+				maxSeq = id
+			}
+			if logOff != 0 && pinRefsLog(span == LeafSpan, word) {
+				fs.prov.Alloc().MarkRef(logOff, span/LeafSpan)
+			}
+			pendPins = append(pendPins, pendPin{f, span, nidx, idx, id, logOff, word})
+			continue
+		}
 		n, err := f.attachNode(ctx, span, nidx)
 		if err != nil {
 			return nil, fmt.Errorf("core: record %d: %w", idx, err)
 		}
 		n.recIdx = idx
-		n.logOff = int64(le64(buf[recLogOff:]))
-		n.word.Store(le64(buf[recWord:]))
-		if n.logOff != 0 {
-			if err := fs.prov.Alloc().MarkAllocated(n.logOff, span/LeafSpan); err != nil {
-				return nil, fmt.Errorf("core: record %d log: %w", idx, err)
-			}
+		n.logOff = logOff
+		n.word.Store(word)
+		n.birth.Store(birth)
+		if logOff != 0 {
+			fs.prov.Alloc().MarkRef(logOff, span/LeafSpan)
 		}
 		nodes[idx] = n
-		used[idx] = true
-		if idx > maxIdx {
-			maxIdx = idx
-		}
 	}
 	fs.dir.next = maxIdx + 1
 	for idx := int64(0); idx <= maxIdx; idx++ {
@@ -113,11 +146,21 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		fs.dir.noteHighWater(ctx, maxIdx)
 	}
 
-	// Pass 3: metadata log replay — complete chains only.
+	// Pass 3: metadata log replay — complete chains only. Snapshot lifecycle
+	// entries are routed out of the chain grouping: a live create entry is a
+	// live snapshot (it deliberately outlives operations and predates any
+	// checkpoint epoch), and a drop entry cancels its create (the drop
+	// committed before the create was retired).
 	type chainKey struct {
 		slot  int
 		group uint32
 	}
+	type liveCreate struct {
+		idx int
+		e   logEntry
+	}
+	var creates []liveCreate
+	dropped := make(map[uint64]bool)
 	chains := make(map[chainKey][]logEntry)
 	var ebuf [entrySize]byte
 	for i := 0; i < fs.mlog.entries; i++ {
@@ -126,7 +169,14 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		if !ok {
 			continue
 		}
-		chains[chainKey{e.fileSlot, e.group}] = append(chains[chainKey{e.fileSlot, e.group}], e)
+		switch e.kind {
+		case entKindSnapCreate:
+			creates = append(creates, liveCreate{i, e})
+		case entKindSnapDrop:
+			dropped[uint64(e.offset)] = true
+		default:
+			chains[chainKey{e.fileSlot, e.group}] = append(chains[chainKey{e.fileSlot, e.group}], e)
+		}
 	}
 	ckEpoch := uint8(fs.epoch.Load())
 	for key, es := range chains {
@@ -155,25 +205,120 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 				n.word.Store(uint64(s.new))
 				fs.dir.setWord(ctx, s.recIdx, uint64(s.new))
 			}
+			for _, s := range e.snaps {
+				n := nodes[s.recIdx]
+				if n == nil {
+					return nil, fmt.Errorf("core: metadata entry references unknown record %d", s.recIdx)
+				}
+				switch s.kind {
+				case snapSlotWord:
+					n.word.Store(uint64(s.new))
+					fs.dir.setWord(ctx, s.recIdx, uint64(s.new))
+				case snapSlotLogSwap:
+					// Complete the copy-on-write relocation: repoint the
+					// record at the fresh block (crashed before the swap was
+					// applied) or do nothing (the record already points
+					// there). The superseded block stays alive only through
+					// its snapshot pins.
+					if n.logOff != s.logOff {
+						old := n.logOff
+						fs.dir.setLogOff(ctx, s.recIdx, s.logOff)
+						n.logOff = s.logOff
+						fs.prov.Alloc().MarkRef(s.logOff, n.span/LeafSpan)
+						if old != 0 {
+							fs.prov.Alloc().Free(ctx, old, n.span/LeafSpan)
+						}
+					}
+				}
+			}
 			if e.fileSize > f.size.Load() {
 				f.size.Store(e.fileSize)
 				f.pf.SetSize(ctx, e.fileSize)
 			}
 		}
 	}
+
+	// Rebuild the snapshot table: a snapshot is live iff its create entry is
+	// live and no drop entry cancels it. Live create entries keep their log
+	// slot (and its claim) — they are retired only by DropSnapshot.
+	keep := make(map[int]bool)
+	for _, lc := range creates {
+		f := bySlot[lc.e.fileSlot]
+		id := uint64(lc.e.offset)
+		if f == nil || dropped[id] {
+			continue // zeroed below; pins become orphans and are collected
+		}
+		keep[lc.idx] = true
+		fs.mlog.claims[lc.idx].Store(true)
+		f.snaps = append(f.snaps, &snapshot{id: id, size: lc.e.fileSize, epoch: lc.e.epoch, entry: lc.idx})
+		f.refs.Add(1)
+		if id > f.maxLiveSnap.Load() {
+			f.maxLiveSnap.Store(id)
+		}
+		if id > maxSeq {
+			maxSeq = id
+		}
+	}
+	for _, f := range fs.files {
+		sort.Slice(f.snaps, func(i, j int) bool { return f.snaps[i].id < f.snaps[j].id })
+	}
 	for i := 0; i < fs.mlog.entries; i++ {
+		if keep[i] {
+			continue
+		}
 		dev.Store8(ctx, fs.mlog.off(i)+entLen, 0)
 	}
 	dev.Fence(ctx)
 
+	// Attach pins to their nodes; orphans (no live snapshot old enough to
+	// need them — e.g. a crash between pin creation and the operation's
+	// commit, or an interrupted drop) release their record and block
+	// reference.
+	for _, pp := range pendPins {
+		needed := false
+		for _, s := range pp.f.snaps {
+			if s.id <= pp.id {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			fs.dir.clear(ctx, pp.recIdx)
+			if pp.logOff != 0 && pinRefsLog(pp.span == LeafSpan, pp.word) {
+				fs.prov.Alloc().Free(ctx, pp.logOff, pp.span/LeafSpan)
+			}
+			continue
+		}
+		n, err := pp.f.attachNode(ctx, pp.span, pp.nidx)
+		if err != nil {
+			return nil, fmt.Errorf("core: pin record %d: %w", pp.recIdx, err)
+		}
+		if pp.f.pins == nil {
+			pp.f.pins = make(map[*node][]*pin)
+		}
+		pp.f.pins[n] = append(pp.f.pins[n], &pin{recIdx: pp.recIdx, id: pp.id, logOff: pp.logOff, word: pp.word})
+		if pp.id > n.snapSeq.Load() {
+			n.snapSeq.Store(pp.id)
+		}
+	}
+	for _, f := range fs.files {
+		for _, ps := range f.pins {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+		}
+	}
+	fs.snapSeq.Store(maxSeq)
+
 	// Pass 4+5: restore lost existing-bit hints, recompute staleness
-	// markers, then write all logs back.
+	// markers, then write all logs back. Files with live snapshots keep
+	// their trees: write-back would overwrite the frozen fallback.
 	for _, f := range fs.files {
 		if r := f.root.Load(); r != nil {
 			restoreExisting(r)
 			recomputeStale(r)
 		}
-		f.writeback(ctx)
+		if f.maxLiveSnap.Load() == 0 {
+			f.writeback(ctx)
+		}
 	}
 	return fs, nil
 }

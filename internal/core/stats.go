@@ -38,6 +38,17 @@ type Stats struct {
 	// skipped (stamped before the checkpoint epoch) during Mount recovery.
 	EntriesReplayed atomic.Int64
 	EntriesSkipped  atomic.Int64
+	// SnapshotsTaken / SnapshotsDropped count snapshot lifecycle events.
+	SnapshotsTaken   atomic.Int64
+	SnapshotsDropped atomic.Int64
+	// SnapshotPins counts copy-on-write pins created (frozen node views);
+	// SnapshotCoWRewrites counts writes that relocated a node's log to a
+	// fresh block because the old one was frozen or pin-shared. Both stay
+	// zero while no snapshot is live — the zero-copy fast path is untouched.
+	SnapshotPins        atomic.Int64
+	SnapshotCoWRewrites atomic.Int64
+	// SnapshotReads counts reads served through snapshot handles.
+	SnapshotReads atomic.Int64
 }
 
 // Stats returns the live counters.

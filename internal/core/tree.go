@@ -36,6 +36,18 @@ type node struct {
 	// cleared before existing is set again (lazy bitmap cleaning, §III-B2).
 	stale atomic.Bool
 
+	// birth is the global snapshot sequence when the node's record was
+	// created (persisted in the record). A snapshot with id <= birth treats
+	// the node's committed state as nonexistent: everything the node carries
+	// was committed after that snapshot froze.
+	birth atomic.Uint64
+
+	// snapSeq is the newest live snapshot id this node has been
+	// copy-on-write-checked against; writes re-check (and pin the current
+	// state) whenever the file's newest snapshot is newer. Volatile —
+	// recovery rebuilds it from the pin records.
+	snapSeq atomic.Uint64
+
 	// touch is the cleaner generation of the last write touching this node;
 	// a subtree whose touch lags the current generation is cold and eligible
 	// for write-back. Only maintained while the cleaner is enabled.
@@ -127,6 +139,7 @@ func subtreeHasLogs(n *node) bool {
 // ensureRecord when the node first participates in a committed operation.
 func (f *file) newNode(ctx *sim.Ctx, parent *node, span, idx int64) *node {
 	n := &node{span: span, idx: idx, parent: parent, leaf: span == LeafSpan, recIdx: -1}
+	n.birth.Store(f.fs.snapSeq.Load())
 	if !n.leaf {
 		n.children = make([]atomic.Pointer[node], f.fs.opts.Degree)
 	}
@@ -149,8 +162,11 @@ func (f *file) ensureChild(ctx *sim.Ctx, n *node, i int64) *node {
 	return c
 }
 
-// ensureRecord persists the node's directory record (tag + logOff + word)
-// so the metadata log can reference it and recovery can rebuild the tree.
+// ensureRecord persists the node's directory record (tag + logOff + word +
+// birth sequence) so the metadata log can reference it and recovery can
+// rebuild the tree. The birth sequence is the current global snapshot
+// sequence: any already-live snapshot predates every bit this record will
+// ever commit, so snapshot readers skip it.
 func (f *file) ensureRecord(ctx *sim.Ctx, n *node) {
 	if n.recIdx >= 0 {
 		return
@@ -160,7 +176,10 @@ func (f *file) ensureRecord(ctx *sim.Ctx, n *node) {
 	if n.recIdx >= 0 {
 		return
 	}
-	n.recIdx = f.fs.dir.create(ctx, f.pf.Slot(), f.spanExp(n.span), n)
+	birth := f.fs.snapSeq.Load()
+	n.birth.Store(birth)
+	n.recIdx = f.fs.dir.create(ctx, packTag(f.pf.Slot(), f.spanExp(n.span), n.idx),
+		n.logOff, n.word.Load(), birth, 0)
 }
 
 // spanExp returns e such that span == LeafSpan * Degree^e.

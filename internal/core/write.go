@@ -8,19 +8,27 @@ import (
 
 // dataWrite is one pending shadow-log store: data to be written at absolute
 // file offset abs into dst's private log, or into the file itself when dst
-// is nil (the root log is the file's memory map).
+// is nil (the root log is the file's memory map). logOff, when nonzero,
+// overrides the destination with an explicit device offset — a copy-on-write
+// relocation target that only becomes dst's log at commit time.
 type dataWrite struct {
-	dst  *node
-	abs  int64
-	data []byte
+	dst    *node
+	abs    int64
+	data   []byte
+	logOff int64
 }
 
 // wordChange is a planned bitmap transition for one node, becoming a
-// metadata-log slot at commit time.
+// metadata-log slot at commit time. newLogOff, when nonzero, additionally
+// swaps the node's private log to a freshly allocated block (snapshot
+// copy-on-write); oldLogOff is the block whose live reference is released
+// after the swap commits.
 type wordChange struct {
 	n         *node
 	old, new  uint64
 	markStale bool
+	newLogOff int64
+	oldLogOff int64
 }
 
 // WriteAt implements vfs.File: one failure-atomic MGSP write (§III-D).
@@ -116,6 +124,12 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 // commitChanges writes the metadata-log entry chain and applies the words.
 func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64, changes []wordChange) {
 	fs := f.fs
+	for _, c := range changes {
+		if c.newLogOff != 0 {
+			f.commitChangesSnap(ctx, entry, off, length, newSize, changes)
+			return
+		}
+	}
 	slots := make([]bitmapSlot, len(changes))
 	for i, c := range changes {
 		if c.n.recIdx < 0 {
@@ -165,8 +179,78 @@ func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64
 	}
 }
 
+// commitChangesSnap commits an operation that includes copy-on-write log
+// swaps, using the wide entKindOpSnap format: each node contributes a word
+// slot, plus a log-swap slot when its private log was relocated, and the
+// chain commits atomically (first entry last). After the commit point the
+// swaps are applied (record logOff updated, node repointed) and the old
+// blocks' live references released — snapshot pins keep them alive for as
+// long as any frozen view still reads them.
+func (f *file) commitChangesSnap(ctx *sim.Ctx, entry int, off, length, newSize int64, changes []wordChange) {
+	fs := f.fs
+	slots := make([]snapSlot, 0, len(changes)+2)
+	for _, c := range changes {
+		if c.n.recIdx < 0 {
+			panic("core: committing a node without a record")
+		}
+		slots = append(slots, snapSlot{recIdx: c.n.recIdx, kind: snapSlotWord,
+			old: uint16(c.old), new: uint16(c.new)})
+		if c.newLogOff != 0 {
+			slots = append(slots, snapSlot{recIdx: c.n.recIdx, kind: snapSlotLogSwap,
+				logOff: c.newLogOff})
+		}
+	}
+	chainLen := (len(slots) + snapOpSlots - 1) / snapOpSlots
+	if chainLen == 0 {
+		chainLen = 1
+	}
+	group := fs.opSeq.Add(1)
+	epoch := uint8(fs.epoch.Load())
+	extra := make([]int, 0, chainLen-1)
+	for i := 1; i < chainLen; i++ {
+		e := fs.mlog.claim(ctx, ctx.ID+i)
+		extra = append(extra, e)
+		lo := i * snapOpSlots
+		hi := lo + snapOpSlots
+		if hi > len(slots) {
+			hi = len(slots)
+		}
+		fs.mlog.commitSnap(ctx, e, f.pf.Slot(), off, length, newSize, slots[lo:hi], group, i, chainLen, epoch)
+	}
+	first := slots
+	if len(first) > snapOpSlots {
+		first = first[:snapOpSlots]
+	}
+	fs.mlog.commitSnap(ctx, entry, f.pf.Slot(), off, length, newSize, first, group, 0, chainLen, epoch)
+	fs.stats.MetaEntries.Add(int64(chainLen))
+
+	for _, c := range changes {
+		c.n.word.Store(c.new)
+		fs.dir.setWord(ctx, c.n.recIdx, c.new)
+		if c.newLogOff != 0 {
+			fs.dir.setLogOff(ctx, c.n.recIdx, c.newLogOff)
+			c.n.logOff = c.newLogOff
+		}
+		if c.markStale {
+			c.n.stale.Store(true)
+		}
+	}
+	for _, c := range changes {
+		if c.newLogOff != 0 && c.oldLogOff != 0 {
+			fs.prov.Alloc().Free(ctx, c.oldLogOff, c.n.span/LeafSpan)
+		}
+	}
+	for _, e := range extra {
+		fs.mlog.retire(ctx, e)
+	}
+}
+
 // writeTo performs one pending store.
 func (f *file) writeTo(ctx *sim.Ctx, w dataWrite) {
+	if w.logOff != 0 {
+		f.fs.dev.WriteNT(ctx, w.data, w.logOff+(w.abs-w.dst.offset()))
+		return
+	}
 	if w.dst == nil {
 		f.pf.DirectWrite(ctx, w.data, w.abs)
 		return
@@ -182,8 +266,28 @@ func (f *file) writeTo(ctx *sim.Ctx, w dataWrite) {
 func (f *file) planInterior(ctx *sim.Ctx, s segment, data []byte) (dataWrite, wordChange, error) {
 	n := s.n
 	f.touchNode(n)
+	snap := f.maxLiveSnap.Load() != 0
+	if snap {
+		f.cowPin(ctx, n)
+	}
 	f.ensureRecord(ctx, n)
 	old := n.word.Load()
+	if snap && (old&bitValid != 0 || (n.logOff != 0 && f.fs.prov.Alloc().RefCount(n.logOff) > 1)) {
+		// Copy-on-write: the fallback and any pin-shared block are frozen, so
+		// neither the undo toggle nor an in-place redo into a shared log is
+		// allowed. Relocate the whole span to a fresh block; the old block's
+		// live reference is released when the swap commits (pins keep it
+		// alive as long as a snapshot reads it).
+		newOff, err := f.fs.prov.Alloc().AllocContig(ctx, n.span/LeafSpan)
+		if err != nil {
+			return dataWrite{}, wordChange{}, err
+		}
+		f.fs.stats.SnapshotCoWRewrites.Add(1)
+		return dataWrite{dst: n, abs: s.lo, data: data, logOff: newOff},
+			wordChange{n: n, old: old, new: bitValid, markStale: old&bitExisting != 0,
+				newLogOff: newOff, oldLogOff: n.logOff},
+			nil
+	}
 	var dst *node
 	var newWord uint64
 	if old&bitValid != 0 {
@@ -223,6 +327,10 @@ func (f *file) planLeaf(ctx *sim.Ctx, s segment, data []byte,
 func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 	writes []dataWrite, changes []wordChange) ([]dataWrite, []wordChange, error) {
 	f.touchNode(n)
+	snap := f.maxLiveSnap.Load() != 0
+	if snap {
+		f.cowPin(ctx, n)
+	}
 	f.ensureRecord(ctx, n)
 	unit := int64(LeafSpan / f.subBits())
 	base := n.offset()
@@ -231,9 +339,46 @@ func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 	newWord := old
 	fallback := f.lastValidLog(n)
 
+	// Snapshot copy-on-write: while snapshots live, the fallback (ancestor
+	// logs / the file) is frozen and pin-shared blocks must not be written.
+	// If this operation would overwrite a valid unit in place or store into a
+	// shared block, relocate the whole leaf log to a fresh block: surviving
+	// valid units are copied over, hit units toggle ON in the new block, and
+	// the (word, logOff) pair swaps atomically at commit.
+	var newOff int64
+	if snap && n.logOff != 0 {
+		need := f.fs.prov.Alloc().RefCount(n.logOff) > 1
+		if !need && old != 0 {
+			for u := int64(0); u < int64(f.subBits()); u++ {
+				if old&(1<<uint(u)) == 0 {
+					continue
+				}
+				ulo, uhi := base+u*unit, base+(u+1)*unit
+				for _, r := range ranges {
+					if r.lo < uhi && ulo < r.hi {
+						need = true
+						break
+					}
+				}
+				if need {
+					break
+				}
+			}
+		}
+		if need {
+			var err error
+			newOff, err = f.fs.prov.Alloc().Alloc(ctx)
+			if err != nil {
+				return writes, changes, err
+			}
+			f.fs.stats.SnapshotCoWRewrites.Add(1)
+		}
+	}
+
 	for u := int64(0); u < int64(f.subBits()); u++ {
 		ulo := base + u*unit
 		uhi := ulo + unit
+		bit := uint64(1) << uint(u)
 		// Collect the ranges intersecting this unit.
 		var hit []rangeData
 		covered := int64(0)
@@ -251,11 +396,22 @@ func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 			}
 		}
 		if len(hit) == 0 {
+			if newOff != 0 && old&bit != 0 {
+				// Untouched valid unit: its content must follow the leaf to
+				// the relocated block.
+				buf := make([]byte, unit)
+				f.fs.dev.Read(ctx, buf, n.logOff+u*unit)
+				writes = appendWrite(writes, dataWrite{dst: n, abs: ulo, data: buf, logOff: newOff})
+			}
 			continue
 		}
-		bit := uint64(1) << uint(u)
 		var dst *node
-		if old&bit == 0 {
+		var dstOff int64
+		if newOff != 0 {
+			dst = n
+			dstOff = newOff
+			newWord |= bit
+		} else if old&bit == 0 {
 			if err := f.ensureLog(ctx, n); err != nil {
 				return writes, changes, err
 			}
@@ -270,7 +426,7 @@ func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 		full := len(hit) == 1 && hit[0].lo <= ulo && hit[0].hi >= uhi
 		if full {
 			r := hit[0]
-			writes = appendWrite(writes, dataWrite{dst: dst, abs: ulo, data: r.data[ulo-r.lo : uhi-r.lo]})
+			writes = appendWrite(writes, dataWrite{dst: dst, abs: ulo, data: r.data[ulo-r.lo : uhi-r.lo], logOff: dstOff})
 			continue
 		}
 		// Partial unit: complete with the current latest content unless the
@@ -289,16 +445,20 @@ func (f *file) planLeafRanges(ctx *sim.Ctx, n *node, ranges []rangeData,
 			}
 			copy(buf[lo-ulo:], r.data[lo-r.lo:hi-r.lo])
 		}
-		writes = appendWrite(writes, dataWrite{dst: dst, abs: ulo, data: buf})
+		writes = appendWrite(writes, dataWrite{dst: dst, abs: ulo, data: buf, logOff: dstOff})
 	}
-	return writes, append(changes, wordChange{n: n, old: old, new: newWord}), nil
+	wc := wordChange{n: n, old: old, new: newWord}
+	if newOff != 0 {
+		wc.newLogOff, wc.oldLogOff = newOff, n.logOff
+	}
+	return writes, append(changes, wc), nil
 }
 
 // appendWrite coalesces contiguous stores to the same destination.
 func appendWrite(writes []dataWrite, w dataWrite) []dataWrite {
 	if k := len(writes) - 1; k >= 0 {
 		last := &writes[k]
-		if last.dst == w.dst && last.abs+int64(len(last.data)) == w.abs {
+		if last.dst == w.dst && last.logOff == w.logOff && last.abs+int64(len(last.data)) == w.abs {
 			last.data = append(last.data[:len(last.data):len(last.data)], w.data...)
 			return writes
 		}
@@ -319,11 +479,18 @@ func (f *file) subBits() int {
 // performing the deferred child cleaning where a coarse update left stale
 // descendants (§III-B2, lazy cleaning for bitmap).
 func (f *file) setExistingPath(ctx *sim.Ctx, ancestors []*node) {
+	snap := f.maxLiveSnap.Load() != 0
 	for _, a := range ancestors {
 		if a.stale.Load() {
 			f.cleanChildren(ctx, a)
 		}
 		if !a.existing() {
+			if snap {
+				// Freeze existing=0 first: a snapshot that saw this node as a
+				// cut must not start descending into children populated after
+				// it froze.
+				f.cowPin(ctx, a)
+			}
 			f.ensureRecord(ctx, a)
 			w := a.word.Load() | bitExisting
 			a.word.Store(w)
@@ -341,6 +508,7 @@ func (f *file) cleanChildren(ctx *sim.Ctx, a *node) {
 	if !a.stale.Load() {
 		return
 	}
+	snap := f.maxLiveSnap.Load() != 0
 	for i := range a.children {
 		c := a.children[i].Load()
 		if c == nil {
@@ -348,6 +516,13 @@ func (f *file) cleanChildren(ctx *sim.Ctx, a *node) {
 		}
 		w := c.word.Load()
 		if w != 0 {
+			if snap {
+				// The zeroed word hides state a snapshot may still need; pin
+				// the child first. The pin's block reference also forces the
+				// next write to this child onto a fresh block instead of the
+				// (now frozen) one.
+				f.cowPin(ctx, c)
+			}
 			c.word.Store(0)
 			if c.recIdx >= 0 {
 				f.fs.dir.setWord(ctx, c.recIdx, 0)

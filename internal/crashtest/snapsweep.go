@@ -1,0 +1,242 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+
+	"mgsp/internal/core"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// SnapConfig describes a snapshot-lifecycle sweep against MGSP. The scripted
+// run is: pre-snapshot writes, Snapshot, copy-on-write overwrites (the first
+// of which is the pin + relocation path), DropSnapshot, tail writes. The
+// sweep crashes at every stride-th media op of that run and asserts after
+// recovery that (a) the live file sits exactly at an operation boundary and
+// (b) the snapshot, whenever it is live, serves the exact pre-snapshot image
+// — never a torn mix — and is gone once the drop committed.
+type SnapConfig struct {
+	Opts     core.Options
+	DevSize  int64
+	FileSize int64
+	// PreOps / PostOps / TailOps are the write counts before the snapshot,
+	// between snapshot and drop, and after the drop.
+	PreOps, PostOps, TailOps int
+	MaxWrite                 int
+	Seed                     int64
+}
+
+const (
+	sopWrite = iota
+	sopSnap
+	sopDrop
+)
+
+type sop struct {
+	kind int
+	off  int64
+	n    int
+	pat  byte
+}
+
+func snapScript(cfg SnapConfig) []sop {
+	ctx := sim.NewCtx(0, cfg.Seed)
+	var ops []sop
+	pat := byte(0)
+	write := func() sop {
+		pat = pat%254 + 1
+		return sop{
+			kind: sopWrite,
+			off:  ctx.Rand.Int63n(cfg.FileSize - int64(cfg.MaxWrite)),
+			n:    1 + ctx.Rand.Intn(cfg.MaxWrite),
+			pat:  pat,
+		}
+	}
+	for i := 0; i < cfg.PreOps; i++ {
+		ops = append(ops, write())
+	}
+	ops = append(ops, sop{kind: sopSnap})
+	for i := 0; i < cfg.PostOps; i++ {
+		ops = append(ops, write())
+	}
+	ops = append(ops, sop{kind: sopDrop})
+	for i := 0; i < cfg.TailOps; i++ {
+		ops = append(ops, write())
+	}
+	return ops
+}
+
+// SnapSweep runs the snapshot-lifecycle script once per fail point.
+func SnapSweep(cfg SnapConfig, stride int64) (Result, error) {
+	script := snapScript(cfg)
+	if stride < 1 {
+		stride = 1
+	}
+	var res Result
+	for fail := int64(1); ; fail += stride {
+		done, err := snapRunOnce(script, cfg, fail)
+		if err != nil {
+			return res, fmt.Errorf("fail point %d: %w", fail, err)
+		}
+		if done {
+			res.Completed = true
+			return res, nil
+		}
+		res.CrashPoints++
+	}
+}
+
+func snapRunOnce(script []sop, cfg SnapConfig, fail int64) (completedRun bool, err error) {
+	dev := nvm.New(cfg.DevSize, sim.ZeroCosts())
+	fs := core.MustNew(dev, cfg.Opts)
+	ctx := sim.NewCtx(0, fail)
+	const name = "snap.dat"
+	f, err := fs.Create(ctx, name)
+	if err != nil {
+		return false, err
+	}
+	if _, err := f.WriteAt(ctx, make([]byte, cfg.FileSize), 0); err != nil {
+		return false, err
+	}
+	if err := f.Fsync(ctx); err != nil {
+		return false, err
+	}
+
+	// ref tracks the reference image as ops complete, so imgAtSnap below is
+	// the exact logical content at snapshot time.
+	ref := make([]byte, cfg.FileSize)
+	apply := func(k int) {
+		o := script[k]
+		if o.kind != sopWrite {
+			return
+		}
+		for j := 0; j < o.n; j++ {
+			ref[o.off+int64(j)] = o.pat
+		}
+	}
+
+	completed := -1
+	var snapID core.SnapID
+	var imgAtSnap []byte
+	snapTaken, dropStarted, dropDone := false, false, false
+	dev.ArmCrash(fail, fail*31+7)
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != nvm.ErrCrashed {
+				panic(r)
+			}
+		}()
+		for i, o := range script {
+			switch o.kind {
+			case sopWrite:
+				if _, err := f.WriteAt(ctx, bytes.Repeat([]byte{o.pat}, o.n), o.off); err != nil {
+					return
+				}
+				apply(i)
+			case sopSnap:
+				imgAtSnap = append([]byte(nil), ref...)
+				id, err := fs.Snapshot(ctx, name)
+				if err != nil {
+					return
+				}
+				snapID, snapTaken = id, true
+			case sopDrop:
+				dropStarted = true
+				if err := fs.DropSnapshot(ctx, name, snapID); err != nil {
+					return
+				}
+				dropDone = true
+			}
+			completed = i
+		}
+	}()
+	dev.DisarmCrash()
+	if !dev.Crashed() {
+		return true, nil
+	}
+	dev.Recover()
+
+	rctx := sim.NewCtx(1, fail)
+	fs2, err := core.Mount(rctx, dev, cfg.Opts)
+	if err != nil {
+		return false, fmt.Errorf("recovery: %w", err)
+	}
+	f2, err := fs2.Open(rctx, name)
+	if err != nil {
+		return false, fmt.Errorf("open after recovery: %w", err)
+	}
+	got := make([]byte, cfg.FileSize)
+	if _, err := f2.ReadAt(rctx, got, 0); err != nil {
+		return false, err
+	}
+
+	// (a) The live file is at an operation boundary: the completed prefix
+	// (ref as maintained during the run), possibly plus the single in-flight
+	// write.
+	boundary := bytes.Equal(got, ref)
+	if !boundary {
+		next := completed + 1
+		for next < len(script) && script[next].kind != sopWrite {
+			next++
+		}
+		if next < len(script) {
+			apply(next)
+			boundary = bytes.Equal(got, ref)
+		}
+	}
+	if !boundary {
+		return false, fmt.Errorf("live file is not at an operation boundary (completed=%d)", completed)
+	}
+
+	// (b) Snapshot table consistency + frozen-image integrity.
+	infos, err := fs2.Snapshots(rctx, name)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case snapTaken && !dropStarted && len(infos) != 1:
+		return false, fmt.Errorf("committed snapshot lost: %d listed", len(infos))
+	case dropDone && len(infos) != 0:
+		return false, fmt.Errorf("dropped snapshot resurrected: %d listed", len(infos))
+	case !snapTaken && completed < len(script)-1 && len(infos) > 1:
+		return false, fmt.Errorf("phantom snapshots: %d listed", len(infos))
+	}
+	for _, info := range infos {
+		// Any live snapshot (committed, torn-creation survivor, or
+		// torn-drop survivor) must serve the exact pre-snapshot image.
+		sh, err := fs2.OpenSnapshot(rctx, name, info.ID)
+		if err != nil {
+			return false, fmt.Errorf("open snapshot %d: %w", info.ID, err)
+		}
+		if info.Size != cfg.FileSize {
+			return false, fmt.Errorf("snapshot %d frozen size %d, want %d", info.ID, info.Size, cfg.FileSize)
+		}
+		frozen := make([]byte, info.Size)
+		if _, err := sh.ReadAt(rctx, frozen, 0); err != nil {
+			return false, err
+		}
+		sh.Close(rctx)
+		if imgAtSnap == nil {
+			return false, fmt.Errorf("snapshot %d listed before creation started", info.ID)
+		}
+		if !bytes.Equal(frozen, imgAtSnap) {
+			for i := range frozen {
+				if frozen[i] != imgAtSnap[i] {
+					return false, fmt.Errorf("snapshot %d torn at byte %d: %#x want %#x",
+						info.ID, i, frozen[i], imgAtSnap[i])
+				}
+			}
+		}
+		if err := fs2.DropSnapshot(rctx, name, info.ID); err != nil {
+			return false, fmt.Errorf("drop after recovery: %w", err)
+		}
+	}
+
+	// (c) No leaked or double-accounted blocks after recovery + cleanup.
+	if rep := fs2.AuditBlocks(); !rep.Clean() {
+		return false, fmt.Errorf("block audit: %d orphans, %d unallocated",
+			len(rep.Orphans), len(rep.Unallocated))
+	}
+	return false, nil
+}

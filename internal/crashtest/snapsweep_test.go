@@ -1,0 +1,56 @@
+package crashtest
+
+import (
+	"testing"
+
+	"mgsp/internal/core"
+)
+
+// TestSnapSweepMGSP crashes at every 7th media op across the full snapshot
+// lifecycle (create → first CoW write → steady CoW → drop) and asserts the
+// recovered image is never torn: live file at an op boundary, snapshot (when
+// live) serving the exact pre-snapshot bytes.
+func TestSnapSweepMGSP(t *testing.T) {
+	cfg := SnapConfig{
+		Opts:     core.DefaultOptions(),
+		DevSize:  128 << 20,
+		FileSize: 96 * 1024,
+		PreOps:   6,
+		PostOps:  14,
+		TailOps:  6,
+		MaxWrite: 20000,
+		Seed:     41,
+	}
+	res, err := SnapSweep(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 20 || !res.Completed {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}
+
+// TestSnapSweepMGSPDegree4 repeats the sweep with a degree-4 tree so crash
+// points land inside multi-entry chained CoW commits (more than snapOpSlots
+// word changes per write).
+func TestSnapSweepMGSPDegree4(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Degree = 4
+	cfg := SnapConfig{
+		Opts:     opts,
+		DevSize:  128 << 20,
+		FileSize: 96 * 1024,
+		PreOps:   4,
+		PostOps:  10,
+		TailOps:  4,
+		MaxWrite: 30000,
+		Seed:     43,
+	}
+	res, err := SnapSweep(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints < 15 || !res.Completed {
+		t.Fatalf("sweep too shallow: %+v", res)
+	}
+}

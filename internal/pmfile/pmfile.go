@@ -206,6 +206,18 @@ func (f *File) extentList() []extent {
 	return nil
 }
 
+// PhysExtents returns the file's physical extents as allocator extents
+// (device offset of the first block, block count). Audits use it to account
+// every data-region block to a file or to a shadow log.
+func (f *File) PhysExtents() []alloc.Extent {
+	exts := f.extentList()
+	out := make([]alloc.Extent, 0, len(exts))
+	for _, e := range exts {
+		out = append(out, alloc.Extent{Off: e.phys, N: e.pages})
+	}
+	return out
+}
+
 // SetSize persists a new file size with one 8-byte atomic store.
 func (f *File) SetSize(ctx *sim.Ctx, size int64) {
 	f.size.Store(size)

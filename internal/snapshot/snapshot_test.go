@@ -1,0 +1,170 @@
+package snapshot
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mgsp/internal/core"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+func newHost(t *testing.T) (*core.FS, *sim.Ctx) {
+	t.Helper()
+	dev := nvm.New(128<<20, sim.ZeroCosts())
+	fs, err := core.New(dev, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, sim.NewCtx(0, 1)
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i%251)
+	}
+	return b
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	fs, ctx := newHost(t)
+	m := New(fs)
+	f, err := fs.Create(ctx, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := pattern(96<<10, 7)
+	if _, err := f.WriteAt(ctx, img, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := m.Take(ctx, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := m.List(ctx, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != id || infos[0].Size != int64(len(img)) {
+		t.Fatalf("list: %+v", infos)
+	}
+
+	sh, err := m.Open(ctx, "src", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(img))
+	if _, err := sh.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("snapshot handle served wrong bytes")
+	}
+	if err := m.Drop(ctx, "src", id); err != core.ErrSnapshotBusy {
+		t.Fatalf("drop while open: %v", err)
+	}
+	sh.Close(ctx)
+	if err := m.Drop(ctx, "src", id); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Taken.Load() != 1 || m.Stats().Dropped.Load() != 1 {
+		t.Fatalf("stats: taken=%d dropped=%d",
+			m.Stats().Taken.Load(), m.Stats().Dropped.Load())
+	}
+}
+
+// TestCloneUnderConcurrentWrites is the headline property: cloning from a
+// snapshot while writers hammer the source yields an exact copy of the
+// frozen image, never a torn mix.
+func TestCloneUnderConcurrentWrites(t *testing.T) {
+	fs, ctx := newHost(t)
+	m := New(fs)
+	f, err := fs.Create(ctx, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sz = 512 << 10
+	img := pattern(sz, 3)
+	if _, err := f.WriteAt(ctx, img, 0); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Take(ctx, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wctx := sim.NewCtx(0, 2)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := int64((i * 13) % (sz / 4096) * 4096)
+			if _, err := f.WriteAt(wctx, pattern(4096, byte(i)), off); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	if err := m.Clone(ctx, "src", id, "dst"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	df, err := fs.Open(ctx, "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Size() != sz {
+		t.Fatalf("clone size %d, want %d", df.Size(), sz)
+	}
+	got := make([]byte, sz)
+	if _, err := df.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("clone does not match frozen image")
+	}
+	if m.Stats().Clones.Load() != 1 {
+		t.Fatalf("clones stat = %d", m.Stats().Clones.Load())
+	}
+
+	// The clone is independent: dropping the snapshot and rewriting the
+	// source leaves it untouched.
+	if err := m.Drop(ctx, "src", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, pattern(4096, 99), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("clone changed after source writes")
+	}
+}
+
+func TestCloneErrors(t *testing.T) {
+	fs, ctx := newHost(t)
+	m := New(fs)
+	if err := m.Clone(ctx, "missing", 1, "dst"); err == nil {
+		t.Fatal("clone of missing file succeeded")
+	}
+	f, _ := fs.Create(ctx, "src")
+	f.WriteAt(ctx, pattern(4096, 1), 0)
+	if err := m.Clone(ctx, "src", 12345, "dst"); err != core.ErrSnapshotNotFound {
+		t.Fatalf("clone of unknown snapshot: %v", err)
+	}
+}

@@ -98,6 +98,26 @@ type MultiWriter interface {
 	WriteMulti(ctx *Ctx, updates []Update) error
 }
 
+// SnapID identifies one snapshot of one file.
+type SnapID = core.SnapID
+
+// SnapInfo describes a live snapshot: its frozen size and the pin footprint
+// (directory records and log blocks) it keeps alive.
+type SnapInfo = core.SnapInfo
+
+// Snapshot errors. Snapshot/OpenSnapshot/DropSnapshot/Snapshots are methods
+// on FS; frozen images are read through ordinary File handles. See
+// internal/snapshot for the clone-capable manager built on top.
+var (
+	// ErrHasSnapshots is returned by Remove, Truncate, and Create-over-
+	// existing while the file still has live snapshots.
+	ErrHasSnapshots = core.ErrHasSnapshots
+	// ErrSnapshotNotFound is returned for an unknown snapshot id.
+	ErrSnapshotNotFound = core.ErrSnapshotNotFound
+	// ErrSnapshotBusy is returned by DropSnapshot while handles are open.
+	ErrSnapshotBusy = core.ErrSnapshotBusy
+)
+
 // New formats a fresh MGSP file system over the device.
 func New(dev *Device, opts Options) (*FS, error) { return core.New(dev, opts) }
 
