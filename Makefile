@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: ci vet build test race bench cover
+.PHONY: ci vet build test race torture fuzz bench cover
 
 ci: vet build test race ## everything CI runs
 
@@ -13,12 +14,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real cross-goroutine concurrency: the MGSP
-# core (MGL, lock-free metadata log, snapshot readers vs writers), the
-# background cleaner, the snapshot manager (clone under concurrent writes),
-# and the crash sweeps.
+# The full race gate: every package, race detector on, test order shuffled
+# so inter-test state dependencies cannot hide. This is the documented CI
+# gate for concurrency changes — `make race` must be green before merging
+# anything that touches locking, the metadata log, or recovery.
 race:
-	$(GO) test -race ./internal/core ./internal/cleaner ./internal/snapshot ./internal/crashtest
+	$(GO) test -race -shuffle=on ./...
+
+# The concurrent crash-consistency torture harness on its own: ~200 sampled
+# (seed, crash-index) points with 4 racing writers per run, op-atomicity
+# oracle checked after every recovery. Violations print a deterministic
+# `go test -run TestTortureReplay -torture.*` repro line.
+torture:
+	$(GO) test -race -count=1 ./internal/torture
+
+# Native fuzzing of the metadata-log record decoder: corrupted entries must
+# be rejected by checksum, never replayed, never panic. Short budget by
+# default; raise with e.g. `make fuzz FUZZTIME=5m`.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeEntry -fuzztime=$(FUZZTIME) ./internal/core
 
 # Coverage over the crash-consistency core. Keep internal/core above ~80%:
 # uncovered lines there are usually recovery/commit paths that only a new

@@ -22,7 +22,7 @@ import (
 	"mgsp/internal/sqlite"
 )
 
-var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic"}
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture"}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
@@ -116,4 +116,5 @@ func main() {
 	run("cleaner", func() ([]*bench.Table, error) { return one(bench.Cleaner(sc)) })
 	run("snapshot", func() ([]*bench.Table, error) { return one(bench.Snapshot(sc)) })
 	run("ext-atomic", func() ([]*bench.Table, error) { return one(bench.ExtAtomic(sc)) })
+	run("torture", func() ([]*bench.Table, error) { return one(bench.Torture(sc)) })
 }

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"mgsp/internal/torture"
+)
+
+// Torture is the smoke-mode entry point for the concurrent crash-consistency
+// harness (internal/torture): per seed, one completion run plus a sweep of
+// uniformly sampled crash indices, four writers racing on the shared file,
+// with the op-atomicity oracle checked after every recovery. It is not a
+// performance figure — the reported numbers are coverage (crash points
+// actually hit) — and any oracle violation fails the experiment with the
+// harness's deterministic repro line.
+func Torture(sc Scale) (*Table, error) {
+	seeds := 2
+	samples := sc.Ops / 100
+	if samples < 10 {
+		samples = 10
+	}
+	rows := make([]string, seeds)
+	for s := range rows {
+		rows[s] = fmt.Sprintf("seed-%d", s)
+	}
+	t := NewTable("torture", "concurrent crash-consistency sweep (4 writers)", "count",
+		[]string{"samples", "crashed", "media-ops", "violations"}, rows)
+	for s := 0; s < seeds; s++ {
+		res, err := torture.Sweep(torture.Config{Writers: 4, Seed: int64(s)}, samples, int64(s)*7919+5)
+		if err != nil {
+			return nil, err
+		}
+		t.Cells[s][0] = float64(res.Samples)
+		t.Cells[s][1] = float64(res.Crashed)
+		t.Cells[s][2] = float64(res.TotalOps)
+		t.Cells[s][3] = float64(len(res.Violations))
+		if len(res.Violations) != 0 {
+			return nil, fmt.Errorf("torture: %s", res.Violations[0])
+		}
+	}
+	t.Notes = append(t.Notes,
+		"oracle: every region at an op boundary, WriteMulti all-or-nothing, snapshots frozen, allocator clean",
+		"violations replay deterministically: go test ./internal/torture -run TestTortureReplay -torture.*")
+	return t, nil
+}

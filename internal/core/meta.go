@@ -73,21 +73,25 @@ func (d *directory) off(idx int64) int64 { return d.base + idx*recSize }
 // snapshot sequence) and returns its index. The body persists and is fenced
 // before the tag store publishes it.
 func (d *directory) create(ctx *sim.Ctx, tag uint64, logOff int64, word, birth, snapID uint64) int64 {
-	d.mu.Lock(ctx)
-	var idx int64
-	if len(d.free) > 0 {
-		idx = d.free[len(d.free)-1]
-		d.free = d.free[:len(d.free)-1]
-	} else {
-		if d.next >= d.cap {
-			d.mu.Unlock(ctx)
-			panic("core: node directory full")
+	// Deferred unlock: noteHighWater issues media ops, and a crash-injection
+	// panic there must not leak d.mu to the other workers.
+	idx := func() int64 {
+		d.mu.Lock(ctx)
+		defer d.mu.Unlock(ctx)
+		var idx int64
+		if len(d.free) > 0 {
+			idx = d.free[len(d.free)-1]
+			d.free = d.free[:len(d.free)-1]
+		} else {
+			if d.next >= d.cap {
+				panic("core: node directory full")
+			}
+			idx = d.next
+			d.next++
 		}
-		idx = d.next
-		d.next++
-	}
-	d.noteHighWater(ctx, idx)
-	d.mu.Unlock(ctx)
+		d.noteHighWater(ctx, idx)
+		return idx
+	}()
 
 	var buf [recSize]byte
 	binary.LittleEndian.PutUint64(buf[recLogOff:], uint64(logOff))

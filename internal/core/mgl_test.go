@@ -184,6 +184,90 @@ func TestConcurrentMixedGranularity(t *testing.T) {
 	}
 }
 
+// TestMGLLockMatrix drives every (held, want) pair of Table I through every
+// acquisition path. For each cell it checks, with one worker holding `held`:
+//
+//   - TryLock(want) succeeds exactly when the table says compatible;
+//   - TryLockHint(want) agrees, and on failure reports intentOnly exactly
+//     when the blocking holder is an intention mode (IR/IW) — the signal
+//     that tells the cleaner to descend instead of treating sticky intent
+//     as contention;
+//   - LockLazy(want) grants when compatible, refuses (without blocking)
+//     when only intention holders conflict, and blocks until release when a
+//     real R/W holder conflicts.
+func TestMGLLockMatrix(t *testing.T) {
+	modes := []lockMode{lockIR, lockIW, lockR, lockW}
+	for _, held := range modes {
+		for _, want := range modes {
+			held, want := held, want
+			t.Run(held.String()+"-"+want.String(), func(t *testing.T) {
+				ok := compatible(held, want)
+				intention := held == lockIR || held == lockIW
+
+				var l mglLock
+				holder := sim.NewCtx(0, 1)
+				other := sim.NewCtx(1, 2)
+				l.Lock(holder, held)
+
+				if got := l.TryLock(other, want); got != ok {
+					t.Fatalf("TryLock(%v) with %v held = %v, want %v", want, held, got, ok)
+				}
+				if ok {
+					l.Unlock(other, want)
+				}
+
+				got, intentOnly := l.TryLockHint(other, want)
+				if got != ok {
+					t.Fatalf("TryLockHint(%v) with %v held = %v, want %v", want, held, got, ok)
+				}
+				if ok {
+					l.Unlock(other, want)
+				} else if intentOnly != intention {
+					t.Fatalf("TryLockHint(%v) with %v held: intentOnly = %v, want %v",
+						want, held, intentOnly, intention)
+				}
+
+				switch {
+				case ok:
+					if !l.LockLazy(other, want) {
+						t.Fatalf("LockLazy(%v) with compatible %v held refused", want, held)
+					}
+					l.Unlock(other, want)
+				case intention:
+					// Sticky intent: refuse immediately, never wait for an
+					// owner that will not release.
+					if l.LockLazy(other, want) {
+						t.Fatalf("LockLazy(%v) granted against conflicting %v", want, held)
+					}
+				default:
+					// Op-scoped R/W conflict: must block, then acquire once
+					// the holder releases.
+					acquired := make(chan struct{})
+					go func() {
+						if l.LockLazy(other, want) {
+							close(acquired)
+						}
+					}()
+					select {
+					case <-acquired:
+						t.Fatalf("LockLazy(%v) returned while %v still held", want, held)
+					case <-time.After(20 * time.Millisecond):
+					}
+					l.Unlock(holder, held)
+					select {
+					case <-acquired:
+					case <-time.After(10 * time.Second):
+						t.Fatalf("LockLazy(%v) never acquired after %v release", want, held)
+					}
+					l.Unlock(other, want)
+					return // holder already released
+				}
+				l.Unlock(holder, held)
+			})
+		}
+	}
+}
+
 // TestOverlappingWritersAtomicity: two workers repeatedly write the SAME
 // 4 KiB-aligned block with distinct fill patterns; the block must always
 // read uniformly (no interleaving), under MGL.

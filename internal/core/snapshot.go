@@ -176,31 +176,36 @@ func (fs *FS) DropSnapshot(ctx *sim.Ctx, name string, id SnapID) error {
 	fs.mlog.commitSnapshotMark(ctx, de, entKindSnapDrop, f.pf.Slot(), uint64(id), 0, uint8(fs.epoch.Load()))
 	fs.mlog.retire(ctx, s.entry)
 
-	f.snapMu.Lock()
-	for i, sn := range f.snaps {
-		if sn == s {
-			f.snaps = append(f.snaps[:i], f.snaps[i+1:]...)
-			break
+	// Deferred unlocks here and below: pin GC and write-back issue media
+	// ops, and a crash-injection panic mid-section must not leak the lock to
+	// workers that still have to unwind through their own shields.
+	func() {
+		f.snapMu.Lock()
+		defer f.snapMu.Unlock()
+		for i, sn := range f.snaps {
+			if sn == s {
+				f.snaps = append(f.snaps[:i], f.snaps[i+1:]...)
+				break
+			}
 		}
-	}
-	var max uint64
-	for _, sn := range f.snaps {
-		if sn.id > max {
-			max = sn.id
+		var max uint64
+		for _, sn := range f.snaps {
+			if sn.id > max {
+				max = sn.id
+			}
 		}
-	}
-	f.maxLiveSnap.Store(max)
-	f.gcPinsLocked(ctx)
-	f.snapMu.Unlock()
+		f.maxLiveSnap.Store(max)
+		f.gcPinsLocked(ctx)
+	}()
 
 	fs.mlog.retire(ctx, de)
 	fs.stats.SnapshotsDropped.Add(1)
 
 	fs.mu.Lock(ctx)
+	defer fs.mu.Unlock(ctx)
 	if f.refs.Add(-1) == 0 {
 		f.lastRefGone(ctx)
 	}
-	fs.mu.Unlock(ctx)
 	return nil
 }
 
@@ -299,9 +304,23 @@ func (f *file) pinFor(n *node, sid uint64) *pin {
 
 // gcPinsLocked drops every pin no remaining snapshot needs: a pin survives
 // only if it is some live snapshot's smallest pin id >= that snapshot's id.
-// Callers hold f.snapMu.
+// Callers hold f.snapMu. Nodes are visited in (span, idx) order, not map
+// order: the retire stores are media ops, and the torture harness's serial
+// replay mode needs the media-op stream to be a pure function of the op
+// sequence.
 func (f *file) gcPinsLocked(ctx *sim.Ctx) {
-	for n, ps := range f.pins {
+	nodes := make([]*node, 0, len(f.pins))
+	for n := range f.pins {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].span != nodes[j].span {
+			return nodes[i].span > nodes[j].span
+		}
+		return nodes[i].idx < nodes[j].idx
+	})
+	for _, n := range nodes {
+		ps := f.pins[n]
 		needed := make(map[*pin]bool, len(ps))
 		for _, s := range f.snaps {
 			for _, p := range ps { // ascending id

@@ -433,7 +433,9 @@ func TestSnapshotConcurrentReadersAndWriters(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctx := sim.NewCtx(0, int64(10+w))
+			// Distinct worker IDs: sticky intents and MGL holders are
+			// keyed per worker, so goroutines must not share an ID.
+			wctx := sim.NewCtx(1+w, int64(10+w))
 			for i := 0; i < 200; i++ {
 				off := int64((i*7+w*13)%(sz/4096)) * 4096
 				if _, err := f.WriteAt(wctx, fill(4096, byte(i+w)), off); err != nil {
@@ -447,7 +449,7 @@ func TestSnapshotConcurrentReadersAndWriters(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			rctx := sim.NewCtx(0, int64(20+r))
+			rctx := sim.NewCtx(3+r, int64(20+r))
 			sh, err := fs.OpenSnapshot(rctx, "f", id)
 			if err != nil {
 				errs <- err

@@ -17,10 +17,26 @@ import (
 	"bytes"
 	"fmt"
 
+	"mgsp/internal/core"
 	"mgsp/internal/nvm"
 	"mgsp/internal/sim"
 	"mgsp/internal/vfs"
 )
+
+// Shield runs body, converting the device's crash panic (nvm.ErrCrashed)
+// into a normal return; any other panic propagates. Every goroutine that may
+// touch a crash-armed device must do its work inside Shield — an unhandled
+// crash panic would kill the test process before the harness gets to remount
+// and check the oracle. internal/torture runs each concurrent writer under
+// it.
+func Shield(body func()) {
+	defer func() {
+		if r := recover(); r != nil && r != nvm.ErrCrashed {
+			panic(r)
+		}
+	}()
+	body()
+}
 
 // Op is one scripted write (Fsync=true makes it a sync barrier instead).
 type Op struct {
@@ -127,12 +143,7 @@ func runOnce(script []Op, cfg Config, fail int64) (completed bool, err error) {
 	completedOps := -1
 	lastSynced := -1
 	dev.ArmCrash(fail, fail*31+7)
-	func() {
-		defer func() {
-			if r := recover(); r != nil && r != nvm.ErrCrashed {
-				panic(r)
-			}
-		}()
+	Shield(func() {
 		for i, o := range script {
 			if o.Fsync {
 				if err := f.Fsync(ctx); err != nil {
@@ -146,7 +157,7 @@ func runOnce(script []Op, cfg Config, fail int64) (completed bool, err error) {
 			}
 			completedOps = i
 		}
-	}()
+	})
 	dev.DisarmCrash()
 	if !dev.Crashed() {
 		return true, err
@@ -208,20 +219,21 @@ func runOnce(script []Op, cfg Config, fail int64) (completed bool, err error) {
 		for i := 0; i <= completedOps; i++ {
 			apply(i)
 		}
-		if bytes.Equal(got, ref) {
-			return false, nil
-		}
+		cands := [][]byte{append([]byte(nil), ref...)}
 		next := completedOps + 1
 		for next < len(script) && script[next].Fsync {
 			next++
 		}
 		if next < len(script) {
 			apply(next)
-			if bytes.Equal(got, ref) {
-				return false, nil
-			}
+			cands = append(cands, append([]byte(nil), ref...))
 		}
-		return false, fmt.Errorf("recovered state is not an operation boundary (completed=%d)", completedOps)
+		if core.MatchCandidate(got, cands) == -1 {
+			return false, fmt.Errorf(
+				"recovered state is not an operation boundary (completed=%d, diverges from prefix at byte %d)",
+				completedOps, core.FirstDivergence(got, cands[0]))
+		}
+		return false, nil
 	case vfs.SyncAtomic:
 		// Everything through the last successful fsync must match; beyond
 		// it, each byte is either the synced state or some later write's

@@ -121,12 +121,7 @@ func snapRunOnce(script []sop, cfg SnapConfig, fail int64) (completedRun bool, e
 	var imgAtSnap []byte
 	snapTaken, dropStarted, dropDone := false, false, false
 	dev.ArmCrash(fail, fail*31+7)
-	func() {
-		defer func() {
-			if r := recover(); r != nil && r != nvm.ErrCrashed {
-				panic(r)
-			}
-		}()
+	Shield(func() {
 		for i, o := range script {
 			switch o.kind {
 			case sopWrite:
@@ -150,7 +145,7 @@ func snapRunOnce(script []sop, cfg SnapConfig, fail int64) (completedRun bool, e
 			}
 			completed = i
 		}
-	}()
+	})
 	dev.DisarmCrash()
 	if !dev.Crashed() {
 		return true, nil
@@ -174,19 +169,18 @@ func snapRunOnce(script []sop, cfg SnapConfig, fail int64) (completedRun bool, e
 	// (a) The live file is at an operation boundary: the completed prefix
 	// (ref as maintained during the run), possibly plus the single in-flight
 	// write.
-	boundary := bytes.Equal(got, ref)
-	if !boundary {
-		next := completed + 1
-		for next < len(script) && script[next].kind != sopWrite {
-			next++
-		}
-		if next < len(script) {
-			apply(next)
-			boundary = bytes.Equal(got, ref)
-		}
+	cands := [][]byte{append([]byte(nil), ref...)}
+	next := completed + 1
+	for next < len(script) && script[next].kind != sopWrite {
+		next++
 	}
-	if !boundary {
-		return false, fmt.Errorf("live file is not at an operation boundary (completed=%d)", completed)
+	if next < len(script) {
+		apply(next)
+		cands = append(cands, append([]byte(nil), ref...))
+	}
+	if core.MatchCandidate(got, cands) == -1 {
+		return false, fmt.Errorf("live file is not at an operation boundary (completed=%d, diverges at byte %d)",
+			completed, core.FirstDivergence(got, cands[0]))
 	}
 
 	// (b) Snapshot table consistency + frozen-image integrity.
@@ -220,13 +214,9 @@ func snapRunOnce(script []sop, cfg SnapConfig, fail int64) (completedRun bool, e
 		if imgAtSnap == nil {
 			return false, fmt.Errorf("snapshot %d listed before creation started", info.ID)
 		}
-		if !bytes.Equal(frozen, imgAtSnap) {
-			for i := range frozen {
-				if frozen[i] != imgAtSnap[i] {
-					return false, fmt.Errorf("snapshot %d torn at byte %d: %#x want %#x",
-						info.ID, i, frozen[i], imgAtSnap[i])
-				}
-			}
+		if i := core.FirstDivergence(frozen, imgAtSnap); i != -1 {
+			return false, fmt.Errorf("snapshot %d torn at byte %d: %#x want %#x",
+				info.ID, i, frozen[i], imgAtSnap[i])
 		}
 		if err := fs2.DropSnapshot(rctx, name, info.ID); err != nil {
 			return false, fmt.Errorf("drop after recovery: %w", err)

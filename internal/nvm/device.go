@@ -52,6 +52,39 @@ type Stats struct {
 	// MediaOps counts persistence-affecting operations (used by the crash
 	// injector's fail-after counter).
 	MediaOps atomic.Int64
+
+	// workerOps attributes media operations to the sim.Ctx.ID that issued
+	// them. Concurrent crash harnesses use it to report which writers were
+	// actually driving the device when the fail point hit.
+	workerOps sync.Map // int -> *atomic.Int64
+}
+
+func (s *Stats) noteWorker(id int) {
+	v, ok := s.workerOps.Load(id)
+	if !ok {
+		v, _ = s.workerOps.LoadOrStore(id, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// WorkerOps returns the number of media operations issued by the worker with
+// the given sim.Ctx.ID.
+func (s *Stats) WorkerOps(id int) int64 {
+	if v, ok := s.workerOps.Load(id); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// Workers returns a snapshot of per-worker media-op counts keyed by
+// sim.Ctx.ID.
+func (s *Stats) Workers() map[int]int64 {
+	out := make(map[int]int64)
+	s.workerOps.Range(func(k, v any) bool {
+		out[k.(int)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // Device is a simulated NVM DIMM set. It is safe for concurrent use by
@@ -69,10 +102,13 @@ type Device struct {
 	stats Stats
 
 	// Crash injection.
-	failAfter atomic.Int64 // remaining media ops before crash; <0 = disarmed
-	crashed   atomic.Bool
-	crashRand *rand.Rand
-	crashMu   sync.Mutex
+	failAfter   atomic.Int64 // remaining media ops before crash; <0 = disarmed
+	crashed     atomic.Bool
+	crashRand   *rand.Rand
+	crashMu     sync.Mutex
+	crashOp     int64 // device-lifetime index of the torn media op (0 = none)
+	crashWorker int   // sim.Ctx.ID whose operation hit the fail point
+	onCrash     func(worker int, mediaOp int64)
 }
 
 // New creates a device of the given size (rounded up to a cache line) with
@@ -149,7 +185,7 @@ func (d *Device) Write(ctx *sim.Ctx, data []byte, off int64) {
 // bandwidth is charged immediately.
 func (d *Device) WriteNT(ctx *sim.Ctx, data []byte, off int64) {
 	d.check(off, len(data))
-	d.hitFailPoint(func(rng *rand.Rand) {
+	d.hitFailPoint(ctx, func(rng *rand.Rand) {
 		// Tear the write at 8-byte granularity: persist a random prefix.
 		k := rng.Intn(len(data)/8+1) * 8
 		if k > len(data) {
@@ -163,6 +199,7 @@ func (d *Device) WriteNT(ctx *sim.Ctx, data []byte, off int64) {
 	d.clearDirty(off, len(data))
 	d.stats.MediaWriteBytes.Add(int64(len(data)))
 	d.stats.MediaOps.Add(1)
+	d.stats.noteWorker(ctx.ID)
 	if ctx.Tally != nil {
 		ctx.Tally.WriteBytes.Add(int64(len(data)))
 	}
@@ -189,7 +226,7 @@ func (d *Device) Flush(ctx *sim.Ctx, off int64, n int) int {
 	if len(lines) == 0 {
 		return 0
 	}
-	d.hitFailPoint(func(rng *rand.Rand) {
+	d.hitFailPoint(ctx, func(rng *rand.Rand) {
 		// Persist a random prefix of the lines; the last persisted line may
 		// itself be torn at 8-byte granularity.
 		k := rng.Intn(len(lines) + 1)
@@ -208,6 +245,7 @@ func (d *Device) Flush(ctx *sim.Ctx, off int64, n int) int {
 	d.stats.MediaWriteBytes.Add(int64(nb))
 	d.stats.Flushes.Add(1)
 	d.stats.MediaOps.Add(1)
+	d.stats.noteWorker(ctx.ID)
 	if ctx.Tally != nil {
 		ctx.Tally.WriteBytes.Add(int64(nb))
 	}
@@ -254,7 +292,7 @@ func (d *Device) Load8(off int64) uint64 {
 // 8-byte-atomic commit protocols rely on.
 func (d *Device) Store8(ctx *sim.Ctx, off int64, v uint64) {
 	d.check8(off)
-	d.hitFailPoint(func(rng *rand.Rand) {
+	d.hitFailPoint(ctx, func(rng *rand.Rand) {
 		if rng.Intn(2) == 1 { // the store may or may not have reached media
 			(*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).Store(v)
 			(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(v)
@@ -264,6 +302,7 @@ func (d *Device) Store8(ctx *sim.Ctx, off int64, v uint64) {
 	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(v)
 	d.stats.MediaWriteBytes.Add(8)
 	d.stats.MediaOps.Add(1)
+	d.stats.noteWorker(ctx.ID)
 	if ctx.Tally != nil {
 		ctx.Tally.WriteBytes.Add(8)
 	}
@@ -278,7 +317,7 @@ func (d *Device) CAS8(ctx *sim.Ctx, off int64, old, new uint64) bool {
 	if !(*atomic.Uint64)(unsafe.Pointer(&d.mem[off])).CompareAndSwap(old, new) {
 		return false
 	}
-	d.hitFailPoint(func(rng *rand.Rand) {
+	d.hitFailPoint(ctx, func(rng *rand.Rand) {
 		if rng.Intn(2) == 1 {
 			(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(new)
 		}
@@ -286,6 +325,7 @@ func (d *Device) CAS8(ctx *sim.Ctx, off int64, old, new uint64) bool {
 	(*atomic.Uint64)(unsafe.Pointer(&d.durable[off])).Store(new)
 	d.stats.MediaWriteBytes.Add(8)
 	d.stats.MediaOps.Add(1)
+	d.stats.noteWorker(ctx.ID)
 	if ctx.Tally != nil {
 		ctx.Tally.WriteBytes.Add(8)
 	}
@@ -347,6 +387,8 @@ func (d *Device) testDirty(l int64) bool {
 func (d *Device) ArmCrash(n int64, seed int64) {
 	d.crashMu.Lock()
 	d.crashRand = rand.New(rand.NewSource(seed))
+	d.crashOp = 0
+	d.crashWorker = 0
 	d.crashMu.Unlock()
 	d.failAfter.Store(n)
 }
@@ -354,7 +396,18 @@ func (d *Device) ArmCrash(n int64, seed int64) {
 // DisarmCrash disables the fail point.
 func (d *Device) DisarmCrash() { d.failAfter.Store(-1) }
 
-func (d *Device) hitFailPoint(tear func(*rand.Rand)) {
+// OnCrash registers fn to be invoked exactly once at the crash instant,
+// after the in-flight operation has been torn but before the crash panic
+// unwinds. Concurrent harnesses use it to capture which operations were in
+// flight at the moment of failure. Set it before ArmCrash; pass nil to
+// clear.
+func (d *Device) OnCrash(fn func(worker int, mediaOp int64)) {
+	d.crashMu.Lock()
+	d.onCrash = fn
+	d.crashMu.Unlock()
+}
+
+func (d *Device) hitFailPoint(ctx *sim.Ctx, tear func(*rand.Rand)) {
 	if d.failAfter.Load() < 0 {
 		return
 	}
@@ -367,13 +420,36 @@ func (d *Device) hitFailPoint(tear func(*rand.Rand)) {
 		rng = rand.New(rand.NewSource(1))
 	}
 	tear(rng)
+	// The torn operation itself never reaches the MediaOps counter (it
+	// panics below), so its index is one past everything counted so far.
+	d.crashOp = d.stats.MediaOps.Load() + 1
+	d.crashWorker = ctx.ID
+	fn := d.onCrash
+	worker, op := d.crashWorker, d.crashOp
 	d.crashMu.Unlock()
 	d.crashed.Store(true)
+	if fn != nil {
+		fn(worker, op)
+	}
 	panic(ErrCrashed)
 }
 
 // Crashed reports whether the device has hit its fail point.
 func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// CrashInfo reports where the armed crash landed: the device-lifetime index
+// of the media operation that was torn (counted from device creation, not
+// from ArmCrash) and the sim.Ctx.ID of the worker that issued it. It returns
+// (-1, -1) if the device has not crashed since the last ArmCrash. The values
+// survive Recover so post-mortem analysis can still attribute the crash.
+func (d *Device) CrashInfo() (mediaOp int64, worker int) {
+	d.crashMu.Lock()
+	defer d.crashMu.Unlock()
+	if d.crashOp == 0 {
+		return -1, -1
+	}
+	return d.crashOp, d.crashWorker
+}
 
 // Recover simulates machine restart: the volatile view is discarded and
 // reset to the durable image, and the device becomes usable again. The
@@ -426,4 +502,8 @@ func (d *Device) ResetStats() {
 	d.stats.Flushes.Store(0)
 	d.stats.Fences.Store(0)
 	d.stats.MediaOps.Store(0)
+	d.stats.workerOps.Range(func(k, _ any) bool {
+		d.stats.workerOps.Delete(k)
+		return true
+	})
 }

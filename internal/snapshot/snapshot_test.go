@@ -101,7 +101,10 @@ func TestCloneUnderConcurrentWrites(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		wctx := sim.NewCtx(0, 2)
+		// Distinct worker ID: the sticky-intent map and MGL holder
+		// bookkeeping are keyed per worker, so two goroutines sharing an
+		// ID can release each other's in-flight intentions.
+		wctx := sim.NewCtx(1, 2)
 		for i := 0; ; i++ {
 			select {
 			case <-stop:

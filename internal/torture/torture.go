@@ -1,0 +1,539 @@
+// Package torture is the concurrent crash-consistency torture harness for
+// MGSP: N writer goroutines issue a mixed workload (WriteAt, WriteMulti,
+// Fsync, Snapshot, DropSnapshot) over overlapping regions of one shared
+// file while the simulated NVM device is armed to crash at a sampled
+// media-op index. After the crash the harness remounts through the §III-D
+// recovery path and checks an op-atomicity oracle: every recovered region
+// must equal the image of exactly one operation that could have been the
+// region's last committed (or in-flight committed) write — never a torn
+// interleaving — every region of a WriteMulti must commit together, every
+// live snapshot must still serve its frozen image, and the block allocator
+// must audit clean.
+//
+// Two execution modes share one oracle:
+//
+//   - Concurrent (default): real goroutines race on the real lock paths, so
+//     the run composes with -race. The per-run verdict is sound — the
+//     oracle's happens-before order comes from a sim.Schedule recorder — but
+//     the interleaving belongs to the Go scheduler.
+//   - Serial (replay): a single goroutine interleaves the same per-writer
+//     op traces in a seeded round-robin. The media-op stream, and therefore
+//     the crash placement and the 8-byte tear, is a pure function of
+//     (seed, writers, crash index): every violation found in serial mode
+//     reproduces bit-identically from its repro line.
+//
+// Violations print a `go test -run`-able repro line; see Violation.Repro.
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mgsp/internal/core"
+	"mgsp/internal/crashtest"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+	"mgsp/internal/vfs"
+)
+
+// Worker ids outside the writer range (writers use 0..Writers-1). Kept well
+// below core's cleanerWorker id.
+const (
+	setupWorker    = 1 << 16
+	recoveryWorker = 1<<16 + 1
+)
+
+const fileName = "torture.dat"
+
+// Config parameterizes one torture run. The zero value of every field gets
+// a usable default from withDefaults; Seed and CrashAt are the two knobs a
+// repro line pins.
+type Config struct {
+	Writers    int   // concurrent writers (default 4)
+	Ops        int   // operations per writer (default 25)
+	Regions    int   // oracle regions in the shared file (default 12)
+	RegionSize int64 // bytes per region, multiple of 16 (default 1024)
+	Seed       int64 // drives trace generation, tear PRNG, serial interleaving
+	CrashAt    int64 // media ops after arming until the crash; 0 = run to completion
+
+	// Op mix: roughly one in every N ops (0 = default, negative disables).
+	// The defaults are part of the replay contract — a repro line encodes
+	// only (seed, writers, ops, crash, torn), so every run uses the same mix.
+	FsyncEvery int // default 8
+	SnapEvery  int // default 10
+	MultiEvery int // default 6
+
+	// InjectTorn makes writer 0's last op deliberately violate op atomicity
+	// (it writes half of a reserved region while the oracle is told the
+	// whole region was written). Used to prove the oracle catches torn
+	// states and that repro lines replay them.
+	InjectTorn bool
+
+	// Serial selects the deterministic single-goroutine replay mode.
+	Serial bool
+
+	DevSize int64
+	Opts    core.Options // zero value = core.DefaultOptions()
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Writers == 0 {
+		cfg.Writers = 4
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 25
+	}
+	if cfg.Regions == 0 {
+		cfg.Regions = 12
+	}
+	if cfg.RegionSize == 0 {
+		cfg.RegionSize = 1024
+	}
+	if cfg.FsyncEvery == 0 {
+		cfg.FsyncEvery = 8
+	}
+	if cfg.SnapEvery == 0 {
+		cfg.SnapEvery = 10
+	}
+	if cfg.MultiEvery == 0 {
+		cfg.MultiEvery = 6
+	}
+	if cfg.Opts.Degree == 0 {
+		cfg.Opts = core.DefaultOptions()
+	}
+	if cfg.DevSize == 0 {
+		cfg.DevSize = 4 << 20
+		if min := cfg.fileSize() * 16; cfg.DevSize < min {
+			cfg.DevSize = min
+		}
+	}
+	return cfg
+}
+
+func (cfg Config) check() error {
+	if cfg.Writers < 1 || cfg.Ops < 1 || cfg.Regions < 1 {
+		return fmt.Errorf("torture: need at least one writer, op and region")
+	}
+	if cfg.RegionSize%16 != 0 {
+		return fmt.Errorf("torture: region size %d not a multiple of 16", cfg.RegionSize)
+	}
+	return nil
+}
+
+// fileSize covers the oracle regions plus the reserved torn-injection
+// region.
+func (cfg Config) fileSize() int64 { return int64(cfg.Regions+1) * cfg.RegionSize }
+
+// totalRegions includes the reserved region so the oracle scans it too.
+func (cfg Config) totalRegions() int { return cfg.Regions + 1 }
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opMulti
+	opFsync
+	opSnap
+	opDrop
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opWrite:
+		return "write"
+	case opMulti:
+		return "writev"
+	case opFsync:
+		return "fsync"
+	case opSnap:
+		return "snap"
+	case opDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// op is one generated trace step.
+type op struct {
+	kind    opKind
+	regions []int
+	torn    bool
+}
+
+// traces generates the per-writer op traces. They are a pure function of
+// the config: the same (seed, writers, ops, mix) always yields the same
+// traces, which is half of the replay contract (the other half is the
+// serial interleaving).
+func traces(cfg Config) [][]op {
+	all := make([][]op, cfg.Writers)
+	for w := 0; w < cfg.Writers; w++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(w)*7919 + 1))
+		ops := make([]op, 0, cfg.Ops)
+		for i := 0; i < cfg.Ops; i++ {
+			switch {
+			case cfg.InjectTorn && w == 0 && i == cfg.Ops-1:
+				// The reserved region is written by nobody else, so the
+				// violation depends only on whether this op ran, not on the
+				// interleaving.
+				ops = append(ops, op{kind: opWrite, regions: []int{cfg.Regions}, torn: true})
+			case cfg.FsyncEvery > 0 && rng.Intn(cfg.FsyncEvery) == 0:
+				ops = append(ops, op{kind: opFsync})
+			case cfg.SnapEvery > 0 && rng.Intn(cfg.SnapEvery) == 0:
+				if rng.Intn(2) == 0 {
+					ops = append(ops, op{kind: opSnap})
+				} else {
+					ops = append(ops, op{kind: opDrop})
+				}
+			case cfg.MultiEvery > 0 && rng.Intn(cfg.MultiEvery) == 0 && cfg.Regions >= 2:
+				a := rng.Intn(cfg.Regions)
+				b := rng.Intn(cfg.Regions - 1)
+				if b >= a {
+					b++
+				}
+				ops = append(ops, op{kind: opMulti, regions: []int{a, b}})
+			default:
+				ops = append(ops, op{kind: opWrite, regions: []int{rng.Intn(cfg.Regions)}})
+			}
+		}
+		all[w] = ops
+	}
+	return all
+}
+
+// stamp is the unique 8-byte word op (w, i) writes across region r. Stamps
+// are never zero (regions start zeroed) and encode the target region, so
+// the oracle detects misdirected writes as well as torn ones.
+func stamp(w, i, r int) uint64 {
+	return uint64(0xA5)<<56 | uint64(w&0xFFFF)<<40 | uint64(i&0xFFFF)<<24 |
+		uint64(r&0xFFFF)<<8 | 0x5A
+}
+
+// stampImage fills one region with the op's stamp.
+func stampImage(w, i, r int, size int64) []byte {
+	img := make([]byte, size)
+	s := stamp(w, i, r)
+	for off := 0; off < len(img); off += 8 {
+		putLE64(img[off:], s)
+	}
+	return img
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getLE64(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// multiWriter is the WriteMulti capability of MGSP handles.
+type multiWriter interface {
+	WriteMulti(ctx *sim.Ctx, updates []core.Update) error
+}
+
+// runCtx carries one run's live objects.
+type runCtx struct {
+	cfg Config
+	dev *nvm.Device
+	fs  *core.FS
+	st  *state
+	tr  [][]op
+}
+
+// prepare builds the device, formats the FS, lays out the shared file, and
+// readies the oracle state. setup stays usable for post-run verification.
+func prepare(cfg Config) (*runCtx, *sim.Ctx, vfs.File, error) {
+	dev := nvm.New(cfg.DevSize, sim.ZeroCosts())
+	fs, err := core.New(dev, cfg.Opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	setup := sim.NewCtx(setupWorker, cfg.Seed)
+	h, err := fs.Create(setup, fileName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := h.WriteAt(setup, make([]byte, cfg.fileSize()), 0); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := h.Fsync(setup); err != nil {
+		return nil, nil, nil, err
+	}
+	r := &runCtx{cfg: cfg, dev: dev, fs: fs, st: newState(cfg), tr: traces(cfg)}
+	return r, setup, h, nil
+}
+
+// execute arms the crash (if configured) and drives the workload in the
+// configured mode, leaving the device disarmed afterwards.
+func (r *runCtx) execute() {
+	r.dev.OnCrash(func(int, int64) { r.st.sched.MarkCrash() })
+	if r.cfg.CrashAt > 0 {
+		r.dev.ArmCrash(r.cfg.CrashAt, r.cfg.Seed*31+r.cfg.CrashAt)
+	}
+	if r.cfg.Serial {
+		r.runSerial()
+	} else {
+		r.runConcurrent()
+	}
+	r.dev.DisarmCrash()
+	r.dev.OnCrash(nil)
+}
+
+// FileName is the shared file every torture run writes; external checkers
+// (mgspfsck) open it on images produced by CrashedDevice.
+const FileName = fileName
+
+// CrashedDevice runs the configured workload until the armed crash and
+// returns the torn, pre-recovery device — raw material for external
+// recovery checkers. cfg.CrashAt must be set; an index past the workload's
+// media-op range is an error.
+func CrashedDevice(cfg Config) (*nvm.Device, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	if cfg.CrashAt <= 0 {
+		return nil, fmt.Errorf("torture: CrashedDevice needs CrashAt > 0")
+	}
+	r, _, _, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.execute()
+	if !r.dev.Crashed() {
+		return nil, fmt.Errorf("torture: crash index %d past the workload (%d media ops)",
+			cfg.CrashAt, r.dev.Stats().MediaOps.Load())
+	}
+	return r.dev, nil
+}
+
+// Run executes one torture run and verifies the oracle on whatever state
+// the run left: the recovered image after a crash, or the live quiescent
+// file system after completion. It returns an error only for harness-level
+// failures (misconfiguration, setup I/O errors); oracle failures are
+// reported as Result.Violations.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	r, setup, h, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev, st := r.dev, r.st
+	r.execute()
+	crashed := dev.Crashed()
+	res := &Result{
+		Crashed:     crashed,
+		CrashOp:     -1,
+		CrashWorker: -1,
+		Schedule:    st.sched,
+	}
+	for _, sp := range st.sched.Spans() {
+		res.OpsStarted++
+		if !sp.InFlight() {
+			res.OpsCompleted++
+		}
+	}
+
+	if crashed {
+		res.CrashOp, res.CrashWorker = dev.CrashInfo()
+		dev.Recover()
+		rctx := sim.NewCtx(recoveryWorker, cfg.Seed+1)
+		fs2, err := core.Mount(rctx, dev, cfg.Opts)
+		if err != nil {
+			res.addViolation(cfg, "mount", -1, fmt.Sprintf("recovery failed: %v", err))
+			return res, nil
+		}
+		h2, err := fs2.Open(rctx, fileName)
+		if err != nil {
+			res.addViolation(cfg, "mount", -1, fmt.Sprintf("open after recovery: %v", err))
+			return res, nil
+		}
+		st.verify(cfg, res, rctx, fs2, h2)
+		h2.Close(rctx)
+	} else {
+		// Completed run: same oracle against the live quiescent system.
+		st.verify(cfg, res, setup, r.fs, h)
+	}
+
+	res.MediaOps = dev.Stats().MediaOps.Load()
+	res.WorkerOps = dev.Stats().Workers()
+	for _, err := range st.takeErrs() {
+		res.addViolation(cfg, "op-error", -1, err.Error())
+	}
+	return res, nil
+}
+
+// runConcurrent races one goroutine per writer. Every writer runs inside
+// crashtest.Shield: a crash panic kills only that writer, and core releases
+// its locks on unwind, so blocked peers wake, hit the dead device and die
+// under their own Shield.
+func (r *runCtx) runConcurrent() {
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			crashtest.Shield(func() {
+				ctx := sim.NewCtx(w, r.cfg.Seed+int64(w)*104729+2)
+				h, err := r.fs.Open(ctx, fileName)
+				if err != nil {
+					r.st.noteErr(fmt.Errorf("writer %d open: %w", w, err))
+					return
+				}
+				for i, o := range r.tr[w] {
+					r.exec(ctx, w, i, o, h)
+				}
+				h.Close(ctx)
+			})
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runSerial interleaves the same per-writer traces on one goroutine in a
+// seeded round-robin. One Shield covers the whole loop: the first crash
+// panic stops every writer at once, which is exactly what a single-threaded
+// replay of a crash means.
+func (r *runCtx) runSerial() {
+	crashtest.Shield(func() {
+		rng := rand.New(rand.NewSource(r.cfg.Seed ^ 0x7075726573657265))
+		ctxs := make([]*sim.Ctx, r.cfg.Writers)
+		handles := make([]vfs.File, r.cfg.Writers)
+		for w := 0; w < r.cfg.Writers; w++ {
+			ctxs[w] = sim.NewCtx(w, r.cfg.Seed+int64(w)*104729+2)
+			h, err := r.fs.Open(ctxs[w], fileName)
+			if err != nil {
+				r.st.noteErr(fmt.Errorf("writer %d open: %w", w, err))
+				return
+			}
+			handles[w] = h
+		}
+		cursor := make([]int, r.cfg.Writers)
+		active := make([]int, r.cfg.Writers)
+		for w := range active {
+			active[w] = w
+		}
+		for len(active) > 0 {
+			k := rng.Intn(len(active))
+			w := active[k]
+			r.exec(ctxs[w], w, cursor[w], r.tr[w][cursor[w]], handles[w])
+			cursor[w]++
+			if cursor[w] == len(r.tr[w]) {
+				handles[w].Close(ctxs[w])
+				active = append(active[:k], active[k+1:]...)
+			}
+		}
+	})
+}
+
+// exec issues one trace op, recording its span (and, for writes, its region
+// history entries) before the first device access and its completion after
+// the call returns. Ops interrupted by the crash stay in flight.
+func (r *runCtx) exec(ctx *sim.Ctx, w, i int, o op, h vfs.File) {
+	st := r.st
+	ops := func() int64 { return r.dev.Stats().MediaOps.Load() }
+	switch o.kind {
+	case opFsync:
+		sp := st.sched.Begin(w, i, o.kind.String(), ops())
+		if err := h.Fsync(ctx); err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d fsync: %w", w, i, err))
+			return
+		}
+		st.sched.End(sp, ops())
+
+	case opWrite:
+		e := st.beginOp(w, i, o, ops())
+		img := stampImage(w, i, o.regions[0], r.cfg.RegionSize)
+		off := int64(o.regions[0]) * r.cfg.RegionSize
+		if o.torn {
+			// Deliberate violation: apply only half of what the oracle was
+			// told. MGSP commits the half-write atomically, so recovery
+			// preserves a state the op history cannot explain.
+			img = img[:r.cfg.RegionSize/2]
+		}
+		if _, err := h.WriteAt(ctx, img, off); err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d write: %w", w, i, err))
+			return
+		}
+		st.sched.End(e.span, ops())
+
+	case opMulti:
+		e := st.beginOp(w, i, o, ops())
+		updates := make([]core.Update, len(o.regions))
+		for k, reg := range o.regions {
+			updates[k] = core.Update{
+				Off:  int64(reg) * r.cfg.RegionSize,
+				Data: stampImage(w, i, reg, r.cfg.RegionSize),
+			}
+		}
+		mw, ok := h.(multiWriter)
+		if !ok {
+			st.noteErr(fmt.Errorf("handle does not support WriteMulti"))
+			return
+		}
+		if err := mw.WriteMulti(ctx, updates); err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d writev: %w", w, i, err))
+			return
+		}
+		st.sched.End(e.span, ops())
+
+	case opSnap:
+		if !st.snapBudget() {
+			return
+		}
+		sp := st.sched.Begin(w, i, o.kind.String(), ops())
+		id, err := r.fs.Snapshot(ctx, fileName)
+		if err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d snapshot: %w", w, i, err))
+			return
+		}
+		sr := st.addSnap(id, sp)
+		// Capture the frozen image now: it is stable by construction, and
+		// the post-crash check compares against this capture. If the crash
+		// interrupts the capture the snapshot stays unverifiable (content-
+		// wise) but its existence is still checked.
+		sh, err := r.fs.OpenSnapshot(ctx, fileName, id)
+		if err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d open snapshot %d: %w", w, i, id, err))
+			return
+		}
+		img := make([]byte, sh.Size())
+		if _, err := sh.ReadAt(ctx, img, 0); err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d read snapshot %d: %w", w, i, id, err))
+			return
+		}
+		sh.Close(ctx)
+		st.completeSnap(sr, img)
+		st.sched.End(sp, ops())
+
+	case opDrop:
+		sr := st.claimDropVictim()
+		if sr == nil {
+			return
+		}
+		sp := st.sched.Begin(w, i, o.kind.String(), ops())
+		err := r.fs.DropSnapshot(ctx, fileName, sr.id)
+		switch {
+		case err == nil:
+			st.finishDrop(sr, true)
+		case err == core.ErrSnapshotBusy:
+			st.finishDrop(sr, false) // concurrent capture holds it; retryable
+		default:
+			st.noteErr(fmt.Errorf("writer %d op %d drop snapshot %d: %w", w, i, sr.id, err))
+			return
+		}
+		st.sched.End(sp, ops())
+	}
+}
