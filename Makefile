@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: ci vet build test race torture fuzz bench cover
+.PHONY: ci vet build test race torture fuzz bench cover bench-json bench-smoke
 
 ci: vet build test race ## everything CI runs
 
@@ -17,9 +17,23 @@ test:
 # The full race gate: every package, race detector on, test order shuffled
 # so inter-test state dependencies cannot hide. This is the documented CI
 # gate for concurrency changes — `make race` must be green before merging
-# anything that touches locking, the metadata log, or recovery.
-race:
+# anything that touches locking, the metadata log, or recovery. The bench
+# smoke ride-along proves the measurement harness end to end (runs every
+# experiment briefly and schema-validates the emitted JSON).
+race: bench-smoke
 	$(GO) test -race -shuffle=on ./...
+
+# A seconds-long slice of every experiment with -json output, validated
+# against the mgsp-bench/v1 schema by mgspstat. Catches harness or schema
+# rot before it reaches a real (minutes-long) bench run.
+bench-smoke:
+	$(GO) run ./cmd/mgspbench -exp all -scale smoke -json BENCH_smoke.json >/dev/null
+	$(GO) run ./cmd/mgspstat -validate BENCH_smoke.json
+
+# The instrumented core experiment at quick scale, emitting the full obs
+# payload (throughput, latency quantiles, WA ratio, contention counters).
+bench-json:
+	$(GO) run ./cmd/mgspbench -exp core -json BENCH_core.json
 
 # The concurrent crash-consistency torture harness on its own: ~200 sampled
 # (seed, crash-index) points with 4 racing writers per run, op-atomicity

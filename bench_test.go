@@ -188,3 +188,16 @@ func BenchmarkExtAtomic(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, metrics, _, err := bench.Core(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(t.Cell("seq-write-fsync1", "MiB/s"), "seq-write-MiB/s")
+			b.ReportMetric(metrics["rand-write/wa.ratio"], "rand-write-WA")
+		}
+	}
+}

@@ -4,29 +4,39 @@
 //
 //	mgspbench -exp all -scale quick
 //	mgspbench -exp fig8,table2 -scale full
+//	mgspbench -exp core -scale smoke -json BENCH_core.json
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table in the paper (throughput in MiB/s of virtual time, write
 // amplification ratios, transactions per second, tpmC, recovery time).
+// With -json, every produced table — plus the `core` experiment's obs
+// metrics and latency histograms — is also written as a versioned
+// mgsp-bench/v1 report that `mgspstat -validate` checks. With -listen, the
+// process serves the most recent instrumented run's obs snapshot at
+// /metrics (Prometheus text), /metrics.json, and /trace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"mgsp/internal/bench"
 	"mgsp/internal/fio"
+	"mgsp/internal/obs"
 	"mgsp/internal/sqlite"
 )
 
-var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture"}
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core"}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
-	scaleName := flag.String("scale", "quick", "experiment scale: quick | full")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick | full | smoke")
+	jsonPath := flag.String("json", "", "also write a mgsp-bench/v1 JSON report to this path")
+	listen := flag.String("listen", "", "after the runs, serve obs metrics on this address (e.g. :8080)")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -35,6 +45,8 @@ func main() {
 		sc = bench.Quick()
 	case "full":
 		sc = bench.Full()
+	case "smoke":
+		sc = bench.Smoke()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
@@ -51,6 +63,10 @@ func main() {
 		}
 	}
 
+	var allTables []*bench.Table
+	metrics := map[string]float64{}
+	hists := map[string]obs.HistSnapshot{}
+
 	run := func(name string, fn func() ([]*bench.Table, error)) {
 		if !want[name] {
 			return
@@ -64,6 +80,7 @@ func main() {
 		for _, t := range tables {
 			fmt.Println(t.Format())
 		}
+		allTables = append(allTables, tables...)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -117,4 +134,39 @@ func main() {
 	run("snapshot", func() ([]*bench.Table, error) { return one(bench.Snapshot(sc)) })
 	run("ext-atomic", func() ([]*bench.Table, error) { return one(bench.ExtAtomic(sc)) })
 	run("torture", func() ([]*bench.Table, error) { return one(bench.Torture(sc)) })
+	run("core", func() ([]*bench.Table, error) {
+		t, m, h, err := bench.Core(sc)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			metrics[k] = v
+		}
+		for k, v := range h {
+			hists[k] = v
+		}
+		return []*bench.Table{t}, nil
+	})
+
+	if *jsonPath != "" {
+		if len(allTables) == 0 {
+			fmt.Fprintf(os.Stderr, "-json: no experiment ran (check -exp)\n")
+			os.Exit(1)
+		}
+		rep := bench.BuildReport(*exp, *scaleName, sc, allTables, metrics, hists)
+		if err := rep.WriteJSONFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", *jsonPath, bench.ReportSchema)
+	}
+
+	if *listen != "" {
+		fmt.Printf("serving obs snapshot on %s (/metrics, /metrics.json, /trace)\n", *listen)
+		h := obs.Handler(bench.LiveSnapshot, bench.LiveTraceRing())
+		if err := http.ListenAndServe(*listen, h); err != nil {
+			fmt.Fprintf(os.Stderr, "-listen: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

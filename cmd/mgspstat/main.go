@@ -1,0 +1,202 @@
+// Command mgspstat inspects MGSP observability artifacts: obs-registry
+// snapshots (mgsp-obs/v1), live /metrics.json endpoints served by
+// `mgspbench -listen`, saved device images, and mgsp-bench/v1 reports.
+//
+//	mgspstat snap.json                 print a saved obs snapshot
+//	mgspstat -prom snap.json           same, as Prometheus text
+//	mgspstat -diff before.json after.json
+//	                                   print the delta between two snapshots
+//	mgspstat -url http://host:8080     fetch and print a live snapshot
+//	mgspstat -img crash.img            mount the image and print the obs
+//	                                   registry after recovery (mount timing,
+//	                                   entries replayed, recovery trace)
+//	mgspstat -validate BENCH_core.json validate a bench -json report and
+//	                                   summarize it
+//
+// Snapshot JSON is whatever /metrics.json serves or Snapshot.WriteJSON
+// writes, so a monitoring pipeline can round-trip artifacts through this
+// tool without touching the library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"mgsp/internal/bench"
+	"mgsp/internal/core"
+	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
+	"mgsp/internal/sim"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "diff two snapshot files: mgspstat -diff before.json after.json")
+	prom := flag.Bool("prom", false, "print snapshots as Prometheus text instead of the human form")
+	url := flag.String("url", "", "fetch a live snapshot from this mgspbench -listen base URL")
+	img := flag.String("img", "", "mount this saved device image and print its recovery observability")
+	degree := flag.Int("degree", 64, "radix degree the image was written with (-img)")
+	subBits := flag.Int("subbits", 8, "leaf valid bits the image was written with (-img)")
+	validate := flag.Bool("validate", false, "validate a mgsp-bench/v1 report file and summarize it")
+	flag.Parse()
+
+	switch {
+	case *validate:
+		if flag.NArg() != 1 {
+			usage("-validate takes exactly one report file")
+		}
+		validateReport(flag.Arg(0))
+	case *img != "":
+		if flag.NArg() != 0 {
+			usage("-img takes no positional arguments")
+		}
+		fromImage(*img, *degree, *subBits, *prom)
+	case *url != "":
+		if flag.NArg() != 0 {
+			usage("-url takes no positional arguments")
+		}
+		data, err := fetch(strings.TrimRight(*url, "/") + "/metrics.json")
+		if err != nil {
+			fail(err)
+		}
+		printSnapshot(parse(data), *prom)
+	case *diff:
+		if flag.NArg() != 2 {
+			usage("-diff takes exactly two snapshot files")
+		}
+		before := parse(readFile(flag.Arg(0)))
+		after := parse(readFile(flag.Arg(1)))
+		fmt.Printf("delta %s -> %s\n", flag.Arg(0), flag.Arg(1))
+		printSnapshot(after.Diff(before), *prom)
+	case flag.NArg() == 1:
+		printSnapshot(parse(readFile(flag.Arg(0))), *prom)
+	default:
+		usage("")
+	}
+}
+
+func printSnapshot(s *obs.Snapshot, prom bool) {
+	if prom {
+		if err := s.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(s.String())
+}
+
+// fromImage loads a saved durable image, runs the recovery protocol, and
+// prints the freshly mounted file system's registry — mount latency,
+// entries replayed/skipped, and the recovery trace event.
+func fromImage(path string, degree, subBits int, prom bool) {
+	r, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer r.Close()
+	dev, err := nvm.LoadImage(r, func(size int64) *nvm.Device {
+		return nvm.New(size, sim.ZeroCosts())
+	})
+	if err != nil {
+		fail(err)
+	}
+	dev.Recover()
+	opts := core.DefaultOptions()
+	opts.Degree = degree
+	opts.SubBits = subBits
+	fs, err := core.Mount(sim.NewCtx(0, 1), dev, opts)
+	if err != nil {
+		fail(err)
+	}
+	printSnapshot(fs.Obs().Snapshot(), prom)
+	if !prom {
+		fmt.Println("trace:")
+		if err := fs.TraceRing().Format(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// validateReport checks a mgspbench -json artifact against the bench schema
+// and prints a one-screen summary; a bad artifact exits nonzero, which is
+// what `make bench-smoke` gates on.
+func validateReport(path string) {
+	rep, err := bench.ValidateReport(readFile(path))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: valid %s report (experiment %q, scale %s)\n",
+		path, rep.Schema, rep.Experiment, rep.Config.Scale)
+	for _, t := range rep.Tables {
+		fmt.Printf("  table %-12s %d x %d  %s\n", t.ID, len(t.Rows), len(t.Cols), t.Title)
+	}
+	if len(rep.Metrics) > 0 {
+		names := make([]string, 0, len(rep.Metrics))
+		for k := range rep.Metrics {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Printf("  %d metrics:\n", len(names))
+		for _, k := range names {
+			fmt.Printf("    %-42s %g\n", k, rep.Metrics[k])
+		}
+	}
+	if len(rep.Hists) > 0 {
+		names := make([]string, 0, len(rep.Hists))
+		for k := range rep.Hists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Printf("  %d histograms:\n", len(names))
+		for _, k := range names {
+			h := rep.Hists[k]
+			fmt.Printf("    %-42s n=%d p50=%d p95=%d p99=%d max=%d\n",
+				k, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+}
+
+func parse(data []byte) *obs.Snapshot {
+	s, err := obs.ParseSnapshot(data)
+	if err != nil {
+		fail(err)
+	}
+	return s
+}
+
+func readFile(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	return data
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mgspstat: %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func usage(msg string) {
+	if msg != "" {
+		fmt.Fprintln(os.Stderr, "mgspstat:", msg)
+	}
+	fmt.Fprintln(os.Stderr, "usage: mgspstat [-prom] <snap.json> | -diff a.json b.json | -url http://host:port | -img image | -validate report.json")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mgspstat:", err)
+	os.Exit(1)
+}

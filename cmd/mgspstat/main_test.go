@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mgsp/internal/bench"
+	"mgsp/internal/core"
+	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
+	"mgsp/internal/sim"
+)
+
+// capture runs fn with os.Stdout redirected into a buffer.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		b.ReadFrom(r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestFetchAndParse(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.writes").Add(7)
+	reg.Histogram("fs.write_ns").Observe(100)
+	ring := obs.NewTraceRing(8)
+	srv := httptest.NewServer(obs.Handler(func() *obs.Snapshot { return reg.Snapshot() }, ring))
+	defer srv.Close()
+
+	data, err := fetch(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := parse(data)
+	if s.Values["core.writes"] != 7 {
+		t.Fatalf("core.writes = %v, want 7", s.Values["core.writes"])
+	}
+	out := capture(t, func() { printSnapshot(s, false) })
+	if !strings.Contains(out, "core.writes") {
+		t.Fatalf("human output missing counter:\n%s", out)
+	}
+	out = capture(t, func() { printSnapshot(s, true) })
+	if !strings.Contains(out, "mgsp_core_writes 7") {
+		t.Fatalf("prometheus output missing counter:\n%s", out)
+	}
+}
+
+// TestFromImage saves a device image after some writes and checks that
+// mgspstat's -img path mounts it and reports recovery observability.
+func TestFromImage(t *testing.T) {
+	dev := nvm.New(64<<20, sim.ZeroCosts())
+	fs := core.MustNew(dev, core.DefaultOptions())
+	ctx := sim.NewCtx(0, 1)
+	h, err := fs.Create(ctx, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fsync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "crash.img")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := capture(t, func() { fromImage(path, 64, 8, false) })
+	for _, want := range []string{"recovery.mount_ns", "core.entries_replayed", "trace:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-img output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateReportOutput(t *testing.T) {
+	tab := bench.NewTable("t", "t", "u", []string{"c"}, []string{"r"})
+	rep := bench.BuildReport("core", "smoke", bench.Smoke(), []*bench.Table{tab},
+		map[string]float64{"r/wa.ratio": 1.02}, nil)
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	if err := rep.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() { validateReport(path) })
+	if !strings.Contains(out, "valid mgsp-bench/v1 report") || !strings.Contains(out, "wa.ratio") {
+		t.Fatalf("validate summary wrong:\n%s", out)
+	}
+}

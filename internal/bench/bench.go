@@ -38,15 +38,22 @@ func Full() Scale {
 	return Scale{FileSize: 256 << 20, Ops: 6000, DBScale: 1, MaxThreads: 16}
 }
 
-// Table is one reproduced figure/table.
+// Smoke is the merge-gate scale: a seconds-long slice of every experiment,
+// just enough to prove the harness end to end and emit schema-valid JSON.
+func Smoke() Scale {
+	return Scale{FileSize: 4 << 20, Ops: 200, DBScale: 16, MaxThreads: 2}
+}
+
+// Table is one reproduced figure/table. The JSON tags are part of the
+// mgsp-bench report schema (see json.go), so renaming them is a schema bump.
 type Table struct {
-	ID    string
-	Title string
-	Unit  string
-	Cols  []string
-	Rows  []string
-	Cells [][]float64 // [row][col]
-	Notes []string
+	ID    string      `json:"id"`
+	Title string      `json:"title"`
+	Unit  string      `json:"unit"`
+	Cols  []string    `json:"cols"`
+	Rows  []string    `json:"rows"`
+	Cells [][]float64 `json:"cells"` // [row][col]
+	Notes []string    `json:"notes,omitempty"`
 }
 
 // NewTable allocates the cell grid.

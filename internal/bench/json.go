@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mgsp/internal/obs"
+)
+
+// ReportSchema versions the machine-readable bench output (`mgspbench
+// -json`). Bump it whenever a field is renamed or its meaning changes;
+// ValidateReport rejects foreign schemas so downstream tooling never
+// misreads an artifact.
+const ReportSchema = "mgsp-bench/v1"
+
+// ReportConfig records the knobs the run was executed with.
+type ReportConfig struct {
+	Scale      string `json:"scale"` // quick | full | smoke
+	FileSize   int64  `json:"file_size"`
+	Ops        int    `json:"ops"`
+	DBScale    int    `json:"db_scale"`
+	MaxThreads int    `json:"max_threads"`
+}
+
+// Report is one mgspbench invocation's machine-readable result: the
+// experiment set, the scale configuration, every produced table (throughput,
+// WA, tps, ...), plus — when the instrumented `core` experiment ran — the
+// obs metrics (write-amplification ratio, MGL contention counters) and
+// latency histograms (p50/p95/p99 per op) keyed as "<workload>/<metric>".
+type Report struct {
+	Schema     string                      `json:"schema"`
+	Experiment string                      `json:"experiment"`
+	Config     ReportConfig                `json:"config"`
+	Tables     []*Table                    `json:"tables"`
+	Metrics    map[string]float64          `json:"metrics,omitempty"`
+	Hists      map[string]obs.HistSnapshot `json:"histograms,omitempty"`
+}
+
+// BuildReport assembles a report from an mgspbench run.
+func BuildReport(experiment, scaleName string, sc Scale, tables []*Table,
+	metrics map[string]float64, hists map[string]obs.HistSnapshot) *Report {
+	return &Report{
+		Schema:     ReportSchema,
+		Experiment: experiment,
+		Config: ReportConfig{
+			Scale:      scaleName,
+			FileSize:   sc.FileSize,
+			Ops:        sc.Ops,
+			DBScale:    sc.DBScale,
+			MaxThreads: sc.MaxThreads,
+		},
+		Tables:  tables,
+		Metrics: metrics,
+		Hists:   hists,
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path.
+func (r *Report) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateReport decodes and structurally validates a report produced by
+// WriteJSON: schema match, a named experiment, and per-table cell grids
+// whose dimensions agree with their row/column headers.
+func ValidateReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Experiment == "" {
+		return nil, fmt.Errorf("bench: report names no experiment")
+	}
+	if len(r.Tables) == 0 {
+		return nil, fmt.Errorf("bench: report has no tables")
+	}
+	for _, t := range r.Tables {
+		if t.ID == "" {
+			return nil, fmt.Errorf("bench: table with empty id")
+		}
+		if len(t.Cells) != len(t.Rows) {
+			return nil, fmt.Errorf("bench: table %s: %d cell rows for %d row names", t.ID, len(t.Cells), len(t.Rows))
+		}
+		for i, row := range t.Cells {
+			if len(row) != len(t.Cols) {
+				return nil, fmt.Errorf("bench: table %s row %d: %d cells for %d columns", t.ID, i, len(row), len(t.Cols))
+			}
+		}
+	}
+	for name, h := range r.Hists {
+		if h.Count < 0 || h.P50 > h.Max || h.P95 > h.Max || h.P99 > h.Max {
+			return nil, fmt.Errorf("bench: histogram %q is inconsistent: %+v", name, h)
+		}
+	}
+	return &r, nil
+}

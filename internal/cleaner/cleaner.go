@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -167,6 +168,16 @@ func (c *Cleaner) Stats() Stats {
 		Contended:       c.contended.Load(),
 		Checkpoints:     c.checkpoints.Load(),
 	}
+}
+
+// Register publishes the policy-level view into an obs registry under
+// prefix: the adaptive (backed-off) interval, foreground lock contention,
+// and the media traffic attributed to the cleaner's private context — the
+// scheduling state the core-side pass counters cannot show.
+func (c *Cleaner) Register(r *obs.Registry, prefix string) {
+	r.RegisterFunc(prefix+"interval_ns", func() float64 { return float64(c.interval.Load()) })
+	r.RegisterFunc(prefix+"contended", func() float64 { return float64(c.contended.Load()) })
+	r.RegisterFunc(prefix+"media_write_bytes", func() float64 { return float64(c.MediaWriteBytes()) })
 }
 
 // Interval returns the current (possibly backed-off) pass interval.

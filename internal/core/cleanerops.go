@@ -14,6 +14,7 @@ import (
 	"mgsp/internal/alloc"
 	"mgsp/internal/cleaner"
 	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
 	"mgsp/internal/pmfile"
 	"mgsp/internal/sim"
 )
@@ -68,6 +69,7 @@ func (f *file) touchNode(n *node) {
 // by the cleaner's running flag), so the cursor fields need no lock.
 func (fs *FS) CleanPass(ctx *sim.Ctx, budget int64) cleaner.PassResult {
 	var res cleaner.PassResult
+	began := ctx.Now()
 	gen := fs.cleanGen.Add(1)
 	remaining := budget
 	if remaining <= 0 {
@@ -121,6 +123,9 @@ func (fs *FS) CleanPass(ctx *sim.Ctx, budget int64) cleaner.PassResult {
 	res.Wrapped = wrapped
 	fs.stats.CleanerPasses.Add(1)
 	fs.stats.BlocksReclaimed.Add(res.BlocksReclaimed)
+	dur := ctx.Now() - began
+	fs.hCleanPass.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpCleanerPass, 0, 0, res.BlocksReclaimed, dur)
 	return res
 }
 
@@ -239,6 +244,7 @@ func (f *file) cleanSubtree(ctx *sim.Ctx, c *node, remaining *int64, res *cleane
 		for _, a := range anc {
 			if !a.lock.TryLock(ctx, lockIW) {
 				f.releaseLocked(ctx, held)
+				f.fs.stats.MGLTryFails.Add(1)
 				res.Contended++
 				return
 			}
@@ -246,6 +252,7 @@ func (f *file) cleanSubtree(ctx *sim.Ctx, c *node, remaining *int64, res *cleane
 		}
 		if !f.tryLockSubtreeW(ctx, c, &held) {
 			f.releaseLocked(ctx, held)
+			f.fs.stats.MGLTryFails.Add(1)
 			res.Contended++
 			return
 		}
@@ -447,6 +454,7 @@ func (fs *FS) Checkpoint(ctx *sim.Ctx) bool {
 		reclaimed: uint64(fs.stats.BlocksReclaimed.Load()),
 	})
 	fs.stats.CheckpointsTaken.Add(1)
+	fs.trace.Record(ctx.ID, obs.OpCheckpoint, 0, 0, int64(e), 0)
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mgsp/internal/cleaner"
 	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
 	"mgsp/internal/pmfile"
 	"mgsp/internal/sim"
 	"mgsp/internal/vfs"
@@ -64,6 +65,22 @@ type FS struct {
 	files map[string]*file
 
 	stats Stats
+
+	// Observability: one registry per FS (probes hold direct pointers; the
+	// registry is only walked at snapshot time) plus the flight-recorder
+	// trace ring. The histograms record virtual nanoseconds except
+	// hProbeDist (metadata-log claim probe distance, in slots).
+	obsReg     *obs.Registry
+	trace      *obs.TraceRing
+	hWrite     *obs.Histogram // fs.write_ns
+	hRead      *obs.Histogram // fs.read_ns
+	hFsync     *obs.Histogram // fs.fsync_ns
+	hWritev    *obs.Histogram // fs.writev_ns
+	hSnapshot  *obs.Histogram // fs.snapshot_ns
+	hMGLAcq    *obs.Histogram // mgl.acquire_ns
+	hProbeDist *obs.Histogram // mlog.probe_distance
+	hMount     *obs.Histogram // recovery.mount_ns
+	hCleanPass *obs.Histogram // cleaner.pass_ns
 }
 
 // New formats an MGSP file system over the device with the given options.
@@ -123,6 +140,7 @@ func mkFS(prov *pmfile.Provider, opts Options) *FS {
 		files:   make(map[string]*file),
 	}
 	fs.dir.hwCell = ckptOff + ckptDirHW
+	fs.initObs()
 	if opts.CleanerInterval > 0 {
 		fs.dir.tracking = true
 		cctx := sim.NewCtx(cleanerWorker, 0)
@@ -131,8 +149,45 @@ func mkFS(prov *pmfile.Provider, opts Options) *FS {
 			Interval: opts.CleanerInterval,
 			Budget:   opts.CleanerBudget,
 		}, cctx)
+		fs.cleaner.Register(fs.obsReg, "cleaner.")
 	}
 	return fs
+}
+
+// traceRingSlots sizes the flight recorder: recent events kept per worker
+// shard. Small on purpose — the ring is volatile diagnostic state, not a log.
+const traceRingSlots = 256
+
+// initObs builds the per-FS metric registry, trace ring, and latency
+// histograms, then wires them to the stat structs the probes update: the
+// core counters, the device's media counters (under "nvm."), the derived
+// write-amplification ratio, and the metadata-log contention probes.
+func (fs *FS) initObs() {
+	r := obs.NewRegistry()
+	fs.obsReg = r
+	fs.trace = obs.NewTraceRing(traceRingSlots)
+	fs.stats.register(r)
+	fs.dev.Stats().Register(r, "nvm.")
+	media := &fs.dev.Stats().MediaWriteBytes
+	user := &fs.stats.UserWriteBytes
+	r.RegisterFunc("wa.ratio", func() float64 {
+		u := user.Load()
+		if u == 0 {
+			return 0
+		}
+		return float64(media.Load()) / float64(u)
+	})
+	fs.hWrite = r.Histogram("fs.write_ns")
+	fs.hRead = r.Histogram("fs.read_ns")
+	fs.hFsync = r.Histogram("fs.fsync_ns")
+	fs.hWritev = r.Histogram("fs.writev_ns")
+	fs.hSnapshot = r.Histogram("fs.snapshot_ns")
+	fs.hMGLAcq = r.Histogram("mgl.acquire_ns")
+	fs.hProbeDist = r.Histogram("mlog.probe_distance")
+	fs.hMount = r.Histogram("recovery.mount_ns")
+	fs.hCleanPass = r.Histogram("cleaner.pass_ns")
+	fs.mlog.probeDist = fs.hProbeDist
+	fs.mlog.casRetries = &fs.stats.MetaCASRetries
 }
 
 // Name implements vfs.FS.
@@ -330,7 +385,12 @@ func (h *handle) Fsync(ctx *sim.Ctx) error {
 	if h.closed {
 		return vfs.ErrClosed
 	}
-	h.f.fs.dev.Fence(ctx)
+	fs := h.f.fs
+	start := ctx.Now()
+	fs.dev.Fence(ctx)
+	dur := ctx.Now() - start
+	fs.hFsync.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpFsync, h.f.pf.Slot(), 0, 0, dur)
 	return nil
 }
 

@@ -25,6 +25,7 @@ type opLocks struct {
 // offset order): file-level lock, greedy single lock, or the full MGL plan
 // (intentions on ancestors top-down, then R/W on targets in offset order).
 func (f *file) lockOp(ctx *sim.Ctx, start *node, segs []segment, write bool) *opLocks {
+	began := ctx.Now()
 	ol := &opLocks{write: write}
 	if f.fs.opts.Locking == LockFile {
 		if write {
@@ -33,6 +34,7 @@ func (f *file) lockOp(ctx *sim.Ctx, start *node, segs []segment, write bool) *op
 			f.flock.RLock(ctx)
 		}
 		ol.file = true
+		f.fs.hMGLAcq.Observe(ctx.Now() - began)
 		return ol
 	}
 	mode := lockR
@@ -46,7 +48,13 @@ func (f *file) lockOp(ctx *sim.Ctx, start *node, segs []segment, write bool) *op
 		ol.greedy = true
 		f.fs.stats.GreedyOps.Add(1)
 		f.lockCoarse(ctx, start, mode, ol)
+		f.fs.hMGLAcq.Observe(ctx.Now() - began)
 		return ol
+	}
+	if f.fs.opts.GreedyLocking {
+		// The greedy fast path was configured but unavailable (multi-user
+		// demotion, open handles, or a busy cleaner).
+		f.fs.stats.MGLTryFails.Add(1)
 	}
 
 	// Intentions on the union of target ancestries, root-first then by
@@ -62,6 +70,7 @@ func (f *file) lockOp(ctx *sim.Ctx, start *node, segs []segment, write bool) *op
 	for _, s := range segs {
 		f.lockCoarse(ctx, s.n, mode, ol)
 	}
+	f.fs.hMGLAcq.Observe(ctx.Now() - began)
 	return ol
 }
 
@@ -179,6 +188,7 @@ func (f *file) dropStickyIntent(ctx *sim.Ctx, n *node) {
 	}
 	f.intentMu.Unlock()
 	if wi != nil {
+		f.fs.stats.MGLIntentDrops.Add(1)
 		if wi.ir {
 			n.lock.Unlock(ctx, lockIR)
 		}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -202,10 +203,19 @@ type metaLog struct {
 	base    int64
 	entries int
 	claims  []atomic.Bool
+
+	// Observability: probeDist records the linear-probe distance of each
+	// claim (0 = the hash slot was free) and casRetries counts slots lost to
+	// a concurrent claimer — together they expose metadata-log contention.
+	// newMetaLog installs private defaults; FS.initObs re-points them at the
+	// registry-backed metrics.
+	probeDist  *obs.Histogram
+	casRetries *obs.Counter
 }
 
 func newMetaLog(dev *nvm.Device, base int64, entries int) *metaLog {
-	return &metaLog{dev: dev, base: base, entries: entries, claims: make([]atomic.Bool, entries)}
+	return &metaLog{dev: dev, base: base, entries: entries, claims: make([]atomic.Bool, entries),
+		probeDist: &obs.Histogram{}, casRetries: &obs.Counter{}}
 }
 
 func (m *metaLog) off(i int) int64 { return m.base + int64(i)*entrySize }
@@ -220,8 +230,10 @@ func (m *metaLog) claim(ctx *sim.Ctx, worker int) int {
 			i := (h + p) & (m.entries - 1)
 			ctx.Advance(m.dev.Costs().Atomic)
 			if m.claims[i].CompareAndSwap(false, true) {
+				m.probeDist.Observe(int64(p))
 				return i
 			}
+			m.casRetries.Add(1)
 		}
 	}
 }

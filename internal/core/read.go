@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -16,7 +17,9 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("core: negative offset %d", off)
 	}
 	f := h.f
-	f.fs.stats.Reads.Add(1)
+	fs := f.fs
+	fs.stats.Reads.Add(1)
+	began := ctx.Now()
 	size := f.size.Load()
 	if off >= size || len(p) == 0 {
 		return 0, nil
@@ -25,12 +28,16 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	if int64(n) > size-off {
 		n = int(size - off)
 	}
+	fs.stats.UserReadBytes.Add(int64(n))
 	end := off + int64(n)
 	root := f.root.Load()
 	if root == nil {
 		// Nothing was ever written through MGSP in this incarnation; the
 		// file itself is the only source.
 		f.pf.DirectRead(ctx, p[:n], off)
+		dur := ctx.Now() - began
+		fs.hRead.Observe(dur)
+		fs.trace.Record(ctx.ID, obs.OpRead, f.pf.Slot(), off, int64(n), dur)
 		return n, nil
 	}
 
@@ -40,6 +47,9 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	f.resolveData(ctx, off, end, p[:n])
 	f.release(ctx, locks)
 	f.updateMinSearch(off, end)
+	dur := ctx.Now() - began
+	fs.hRead.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpRead, f.pf.Slot(), off, int64(n), dur)
 	return n, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mgsp/internal/nvm"
+	"mgsp/internal/obs"
 	"mgsp/internal/pmfile"
 	"mgsp/internal/sim"
 )
@@ -29,6 +30,7 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	began := ctx.Now()
 	prov, err := pmfile.Recover(ctx, dev, MetaBytes(dev.Size()))
 	if err != nil {
 		return nil, err
@@ -320,6 +322,10 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 			f.writeback(ctx)
 		}
 	}
+	dur := ctx.Now() - began
+	fs.hMount.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpRecovery, 0, 0,
+		fs.stats.EntriesReplayed.Load(), dur)
 	return fs, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 	"mgsp/internal/vfs"
 )
@@ -72,11 +73,13 @@ func (h *snapHandle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	// Same MGL read locking as live reads: snapshot readers run concurrently
 	// with each other and with writers outside the locked ranges.
+	began := ctx.Now()
 	start := f.searchStart(ctx, off, end)
 	segs := f.readCover(ctx, start, off, end, nil)
 	locks := f.lockOp(ctx, start, segs, false)
 	f.snapWalk(ctx, root, h.s.id, off, end, 0, 0, p[:n], off)
 	f.release(ctx, locks)
+	f.fs.trace.Record(ctx.ID, obs.OpSnapRead, f.pf.Slot(), off, int64(n), ctx.Now()-began)
 	return n, nil
 }
 

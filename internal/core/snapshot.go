@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 	"mgsp/internal/vfs"
 )
@@ -85,6 +86,7 @@ func pinRefsLog(leaf bool, word uint64) bool {
 // file size. The snapshot holds a file reference (deferring close-time
 // write-back) until dropped.
 func (fs *FS) Snapshot(ctx *sim.Ctx, name string) (SnapID, error) {
+	began := ctx.Now()
 	fs.snapAdmin.Lock(ctx)
 	defer fs.snapAdmin.Unlock(ctx)
 
@@ -116,6 +118,9 @@ func (fs *FS) Snapshot(ctx *sim.Ctx, name string) (SnapID, error) {
 	f.snaps = append(f.snaps, &snapshot{id: id, size: size, epoch: epoch, entry: entry})
 	f.snapMu.Unlock()
 	fs.stats.SnapshotsTaken.Add(1)
+	dur := ctx.Now() - began
+	fs.hSnapshot.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpSnapshot, f.pf.Slot(), 0, int64(id), dur)
 	return SnapID(id), nil
 }
 
@@ -200,6 +205,7 @@ func (fs *FS) DropSnapshot(ctx *sim.Ctx, name string, id SnapID) error {
 
 	fs.mlog.retire(ctx, de)
 	fs.stats.SnapshotsDropped.Add(1)
+	fs.trace.Record(ctx.ID, obs.OpSnapDrop, f.pf.Slot(), 0, int64(id), 0)
 
 	fs.mu.Lock(ctx)
 	defer fs.mu.Unlock(ctx)

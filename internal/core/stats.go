@@ -1,55 +1,113 @@
 package core
 
-import "sync/atomic"
+import "mgsp/internal/obs"
 
 // Stats exposes MGSP-internal counters so tests and tools can verify that
 // the paper's optimizations actually engage (the Figure 13 story is only
 // credible if, say, greedy locking demonstrably fires on single-user files
-// and the minimum search tree demonstrably absorbs traversals).
+// and the minimum search tree demonstrably absorbs traversals). The fields
+// are obs.Counter — same Add/Load/Store surface as atomic.Int64 — so the
+// struct registers wholesale into the file system's obs.Registry at mount
+// time while every existing accessor keeps working unchanged.
 type Stats struct {
 	// Writes and Reads count user operations.
-	Writes atomic.Int64
-	Reads  atomic.Int64
+	Writes obs.Counter
+	Reads  obs.Counter
+	// UserWriteBytes / UserReadBytes count user payload bytes moved, the
+	// logical side of the write-amplification ratio (media bytes over user
+	// bytes) exported as wa.ratio.
+	UserWriteBytes obs.Counter
+	UserReadBytes  obs.Counter
 	// ToggleToLog counts shadow toggles that placed new data in a node's
 	// private log (redo role); ToggleToFallback counts toggles that wrote
 	// through to the fallback (undo role). Their sum is the data-write count
 	// of the shadow log — equal user writes at matching granularity.
-	ToggleToLog      atomic.Int64
-	ToggleToFallback atomic.Int64
+	ToggleToLog      obs.Counter
+	ToggleToFallback obs.Counter
 	// MinSearchHits / MinSearchMisses count cached-subtree lookups.
-	MinSearchHits   atomic.Int64
-	MinSearchMisses atomic.Int64
+	MinSearchHits   obs.Counter
+	MinSearchMisses obs.Counter
 	// GreedyOps counts operations that used the single-lock fast path;
 	// Descends counts coarse acquisitions that descended past sticky
 	// intentions (lazy cleaning at work).
-	GreedyOps atomic.Int64
-	Descends  atomic.Int64
+	GreedyOps obs.Counter
+	Descends  obs.Counter
+	// MGLTryFails counts failed try-acquisitions (greedy fast path misses
+	// and cleaner try-locks that lost the race); MGLIntentDrops counts
+	// sticky intentions cleaned from ancestor nodes.
+	MGLTryFails    obs.Counter
+	MGLIntentDrops obs.Counter
 	// MetaEntries counts metadata-log entries committed (including chain
-	// extensions).
-	MetaEntries atomic.Int64
+	// extensions). MetaCASRetries counts claim-slot CAS attempts that lost
+	// to a concurrent claimer and had to probe on.
+	MetaEntries    obs.Counter
+	MetaCASRetries obs.Counter
 	// CleanerPasses, BlocksReclaimed and CheckpointsTaken count background
 	// cleaner activity: completed passes, 4 KiB log blocks returned to the
 	// allocator, and checkpoint records persisted. All zero while the
 	// cleaner is disabled.
-	CleanerPasses    atomic.Int64
-	BlocksReclaimed  atomic.Int64
-	CheckpointsTaken atomic.Int64
+	CleanerPasses    obs.Counter
+	BlocksReclaimed  obs.Counter
+	CheckpointsTaken obs.Counter
 	// EntriesReplayed / EntriesSkipped count metadata-log entries applied vs
 	// skipped (stamped before the checkpoint epoch) during Mount recovery.
-	EntriesReplayed atomic.Int64
-	EntriesSkipped  atomic.Int64
+	EntriesReplayed obs.Counter
+	EntriesSkipped  obs.Counter
 	// SnapshotsTaken / SnapshotsDropped count snapshot lifecycle events.
-	SnapshotsTaken   atomic.Int64
-	SnapshotsDropped atomic.Int64
+	SnapshotsTaken   obs.Counter
+	SnapshotsDropped obs.Counter
 	// SnapshotPins counts copy-on-write pins created (frozen node views);
 	// SnapshotCoWRewrites counts writes that relocated a node's log to a
 	// fresh block because the old one was frozen or pin-shared. Both stay
 	// zero while no snapshot is live — the zero-copy fast path is untouched.
-	SnapshotPins        atomic.Int64
-	SnapshotCoWRewrites atomic.Int64
+	SnapshotPins        obs.Counter
+	SnapshotCoWRewrites obs.Counter
 	// SnapshotReads counts reads served through snapshot handles.
-	SnapshotReads atomic.Int64
+	SnapshotReads obs.Counter
+}
+
+// register publishes every counter into r under the "core." prefix.
+func (s *Stats) register(r *obs.Registry) {
+	for _, c := range []struct {
+		name string
+		c    *obs.Counter
+	}{
+		{"core.writes", &s.Writes},
+		{"core.reads", &s.Reads},
+		{"core.user_write_bytes", &s.UserWriteBytes},
+		{"core.user_read_bytes", &s.UserReadBytes},
+		{"core.toggle_to_log", &s.ToggleToLog},
+		{"core.toggle_to_fallback", &s.ToggleToFallback},
+		{"core.min_search_hits", &s.MinSearchHits},
+		{"core.min_search_misses", &s.MinSearchMisses},
+		{"core.greedy_ops", &s.GreedyOps},
+		{"core.descends", &s.Descends},
+		{"core.mgl_try_fails", &s.MGLTryFails},
+		{"core.mgl_intent_drops", &s.MGLIntentDrops},
+		{"core.meta_entries", &s.MetaEntries},
+		{"core.meta_cas_retries", &s.MetaCASRetries},
+		{"core.cleaner_passes", &s.CleanerPasses},
+		{"core.blocks_reclaimed", &s.BlocksReclaimed},
+		{"core.checkpoints_taken", &s.CheckpointsTaken},
+		{"core.entries_replayed", &s.EntriesReplayed},
+		{"core.entries_skipped", &s.EntriesSkipped},
+		{"core.snapshots_taken", &s.SnapshotsTaken},
+		{"core.snapshots_dropped", &s.SnapshotsDropped},
+		{"core.snapshot_pins", &s.SnapshotPins},
+		{"core.snapshot_cow_rewrites", &s.SnapshotCoWRewrites},
+		{"core.snapshot_reads", &s.SnapshotReads},
+	} {
+		r.RegisterCounter(c.name, c.c)
+	}
 }
 
 // Stats returns the live counters.
 func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// Obs returns the file system's metric registry (one per FS, populated at
+// mount with core, nvm, and derived metrics plus the latency histograms).
+func (fs *FS) Obs() *obs.Registry { return fs.obsReg }
+
+// TraceRing returns the file system's flight recorder, nil when tracing was
+// not enabled.
+func (fs *FS) TraceRing() *obs.TraceRing { return fs.trace }

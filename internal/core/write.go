@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -45,6 +46,8 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	f := h.f
 	fs := f.fs
 	fs.stats.Writes.Add(1)
+	fs.stats.UserWriteBytes.Add(int64(len(p)))
+	began := ctx.Now()
 	// Enter the in-flight window (checkpoint quiesce) first; the deferred
 	// exit runs after the lock release below (LIFO), so the cleaner's
 	// piggyback pass never starts while this op holds node locks.
@@ -118,6 +121,9 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 
 	fs.mlog.retire(ctx, entry)
 	f.updateMinSearch(off, end)
+	dur := ctx.Now() - began
+	fs.hWrite.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpWrite, f.pf.Slot(), off, int64(len(p)), dur)
 	return len(p), nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -30,6 +31,13 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	}
 	f := h.f
 	fs := f.fs
+	fs.stats.Writes.Add(1)
+	began := ctx.Now()
+	var userBytes int64
+	for _, u := range updates {
+		userBytes += int64(len(u.Data))
+	}
+	fs.stats.UserWriteBytes.Add(userBytes)
 	// In-flight window for the checkpoint quiesce; exits after lock release
 	// (LIFO defers), see WriteAt.
 	fs.inFlight.Add(1)
@@ -149,6 +157,9 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	}
 	fs.mlog.retire(ctx, entry)
 	f.updateMinSearch(lo, maxEnd)
+	dur := ctx.Now() - began
+	fs.hWritev.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpWriteMulti, f.pf.Slot(), lo, maxEnd-lo, dur)
 	return nil
 }
 

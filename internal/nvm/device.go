@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -38,25 +39,37 @@ const LineSize = 64
 var ErrCrashed = errors.New("nvm: device crashed")
 
 // Stats aggregates media-level counters. All fields are monotonically
-// increasing and safe to read concurrently.
+// increasing and safe to read concurrently. The fields are obs.Counter so
+// the whole struct registers into an obs.Registry (see Register) without
+// changing any accessor call site.
 type Stats struct {
 	// MediaWriteBytes counts bytes that reached the durable image (the
 	// denominator of Table II is the user bytes; this is the numerator).
-	MediaWriteBytes atomic.Int64
+	MediaWriteBytes obs.Counter
 	// MediaReadBytes counts bytes read through the device interface.
-	MediaReadBytes atomic.Int64
+	MediaReadBytes obs.Counter
 	// Flushes counts Flush calls that persisted at least one line.
-	Flushes atomic.Int64
+	Flushes obs.Counter
 	// Fences counts Fence calls.
-	Fences atomic.Int64
+	Fences obs.Counter
 	// MediaOps counts persistence-affecting operations (used by the crash
 	// injector's fail-after counter).
-	MediaOps atomic.Int64
+	MediaOps obs.Counter
 
 	// workerOps attributes media operations to the sim.Ctx.ID that issued
 	// them. Concurrent crash harnesses use it to report which writers were
 	// actually driving the device when the fail point hit.
 	workerOps sync.Map // int -> *atomic.Int64
+}
+
+// Register publishes the media counters into r under prefix (e.g. "nvm."):
+// media_write_bytes, media_read_bytes, flushes, fences, media_ops.
+func (s *Stats) Register(r *obs.Registry, prefix string) {
+	r.RegisterCounter(prefix+"media_write_bytes", &s.MediaWriteBytes)
+	r.RegisterCounter(prefix+"media_read_bytes", &s.MediaReadBytes)
+	r.RegisterCounter(prefix+"flushes", &s.Flushes)
+	r.RegisterCounter(prefix+"fences", &s.Fences)
+	r.RegisterCounter(prefix+"media_ops", &s.MediaOps)
 }
 
 func (s *Stats) noteWorker(id int) {

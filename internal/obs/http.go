@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves live metrics over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the Snapshot JSON (mgsp-obs/v1), mgspstat's wire format
+//	/trace         the trace ring as text (404 when no ring is wired)
+//
+// get is called per request and may return nil (503) before the first
+// snapshot is published; ring may be nil.
+func Handler(get func() *Snapshot, ring *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	withSnap := func(fn func(w http.ResponseWriter, s *Snapshot)) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			s := get()
+			if s == nil {
+				http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+				return
+			}
+			fn(w, s)
+		}
+	}
+	mux.HandleFunc("/metrics", withSnap(func(w http.ResponseWriter, s *Snapshot) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WritePrometheus(w)
+	}))
+	mux.HandleFunc("/metrics.json", withSnap(func(w http.ResponseWriter, s *Snapshot) {
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteJSON(w)
+	}))
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if ring == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		ring.Format(w)
+	})
+	return mux
+}

@@ -1,0 +1,50 @@
+// Package obs is MGSP's unified observability layer: an allocation-free
+// metric registry (atomic counters, gauges, and log2-bucketed latency
+// histograms), a fixed-size lock-free trace ring, and pluggable exporters
+// (human text, JSON snapshots, Prometheus text, an HTTP endpoint).
+//
+// The paper's central claims are quantitative — every overwrite costs at
+// most two media writes, write amplification stays near 1, MGL contention
+// stays off the fast path — so the repro needs first-class instrumentation
+// to keep those claims measurable as the system grows. Probes ride in every
+// layer (core, nvm, cleaner, recovery) and report through one registry per
+// file system, so `mgspbench -json` and `mgspstat` can emit and diff
+// machine-readable BENCH_*.json artifacts.
+//
+// Cost discipline: counters are a single atomic add and are always live.
+// Histograms and trace records are a handful of atomics and are
+// short-circuited by Disabled, so the disabled hot path pays one branch and
+// nothing else — no allocation on any path, enabled or not (enforced by a
+// testing.B guard).
+package obs
+
+import "sync/atomic"
+
+// Disabled short-circuits histogram observations and trace records (counter
+// adds are kept: a single atomic, the floor the hot path already pays).
+// Set it before file systems are built and do not toggle it while
+// operations are in flight; reads are deliberately unsynchronized.
+var Disabled bool
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so it can replace sync/atomic.Int64 fields in existing
+// stats structs without changing any call site.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store resets the counter (benchmark phase boundaries).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
+// Gauge is an atomic last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the last recorded value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

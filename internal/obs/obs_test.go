@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Counter.Load = %d, want 3", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Counter.Load after Store(0) = %d, want 0", got)
+	}
+	var g Gauge
+	g.Set(42)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("Gauge.Load = %d, want 42", got)
+	}
+}
+
+// TestCounterConcurrent: N goroutines adding in parallel must never lose an
+// increment (run under -race in the merge gate).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Counter.Load = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log2 bucket mapping: value v lands
+// in bucket bits.Len64(v), i.e. 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      int64
+		bucket int64
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1025, 11}, {-5, 0},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := map[int64]int64{}
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	got := map[int64]int64{}
+	for _, b := range s.Buckets {
+		got[b[0]] = b[1]
+	}
+	for bucket, n := range want {
+		if got[bucket] != n {
+			t.Errorf("bucket %d: count %d, want %d (all: %v)", bucket, got[bucket], n, s.Buckets)
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+	if s.Max != 1025 {
+		t.Errorf("Max = %d, want 1025", s.Max)
+	}
+}
+
+// TestHistogramQuantiles checks the quantile math: the reported quantile is
+// an upper bound within the holding bucket, capped at the true max.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", h.Quantile(0.5))
+	}
+	// 100 observations of 10 (bucket 4, upper 15) and 1 of 1000.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1000)
+	if p50 := h.Quantile(0.50); p50 != 15 {
+		t.Errorf("p50 = %d, want 15 (upper bound of 10's bucket)", p50)
+	}
+	// p99 rank = ceil-ish of 0.99*101 = 100 -> still the 10s bucket.
+	if p99 := h.Quantile(0.99); p99 != 15 {
+		t.Errorf("p99 = %d, want 15", p99)
+	}
+	if p100 := h.Quantile(1.0); p100 != 1000 {
+		t.Errorf("p100 = %d, want 1000 (capped at true max)", p100)
+	}
+	// A single-value histogram reports that exact value at every quantile
+	// (upper bound capped at max).
+	var one Histogram
+	one.Observe(77)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := one.Quantile(q); got != 77 {
+			t.Errorf("single-value q=%v = %d, want 77", q, got)
+		}
+	}
+	if mean := one.Mean(); mean != 77 {
+		t.Errorf("Mean = %v, want 77", mean)
+	}
+}
+
+func TestHistogramDisabled(t *testing.T) {
+	Disabled = true
+	defer func() { Disabled = false }()
+	var h Histogram
+	h.Observe(123)
+	if h.Count() != 0 {
+		t.Fatalf("disabled Observe recorded: count=%d", h.Count())
+	}
+	var tr *TraceRing
+	tr.Record(0, OpWrite, 0, 0, 0, 0) // nil ring: must not panic
+}
+
+func TestRegistrySnapshotDiffAndParse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops.total")
+	c.Add(10)
+	r.Gauge("queue.depth").Set(3)
+	r.RegisterFunc("derived.ratio", func() float64 { return 1.5 })
+	h := r.Histogram("lat.ns")
+	h.Observe(100)
+	h.Observe(200)
+
+	s1 := r.Snapshot()
+	if s1.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", s1.Schema)
+	}
+	if s1.Values["ops.total"] != 10 || s1.Values["queue.depth"] != 3 || s1.Values["derived.ratio"] != 1.5 {
+		t.Fatalf("bad values: %v", s1.Values)
+	}
+	if hs := s1.Hists["lat.ns"]; hs.Count != 2 || hs.Sum != 300 {
+		t.Fatalf("bad hist snapshot: %+v", hs)
+	}
+
+	c.Add(5)
+	h.Observe(400)
+	s2 := r.Snapshot()
+	d := s2.Diff(s1)
+	if d.Values["ops.total"] != 5 {
+		t.Errorf("diff ops.total = %v, want 5", d.Values["ops.total"])
+	}
+	if d.Values["queue.depth"] != 0 {
+		t.Errorf("diff queue.depth = %v, want 0", d.Values["queue.depth"])
+	}
+	if dh := d.Hists["lat.ns"]; dh.Count != 1 || dh.Sum != 400 {
+		t.Errorf("diff hist = %+v, want count=1 sum=400", dh)
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := s2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Values["ops.total"] != 15 {
+		t.Errorf("parsed ops.total = %v", parsed.Values["ops.total"])
+	}
+	if _, err := ParseSnapshot([]byte(`{"schema":"other/v9","values":{}}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+
+	// Registered counters show up; re-registration replaces.
+	var ext Counter
+	ext.Add(7)
+	r.RegisterCounter("ext.counter", &ext)
+	if got := r.Snapshot().Values["ext.counter"]; got != 7 {
+		t.Errorf("registered counter = %v, want 7", got)
+	}
+
+	// Text and Prometheus exporters include every metric name.
+	text := s2.String()
+	var prom bytes.Buffer
+	if err := s2.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ops.total", "queue.depth", "derived.ratio"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("String() missing %q", name)
+		}
+	}
+	if !strings.Contains(prom.String(), "mgsp_ops_total") || !strings.Contains(prom.String(), "mgsp_lat_ns_count") {
+		t.Errorf("Prometheus output missing rewritten names:\n%s", prom.String())
+	}
+}
+
+// TestTraceRingWraparound: a shard must retain only its newest events after
+// the ring wraps, and Events must come back seq-sorted.
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTraceRing(8)
+	const total = 100 // worker 0 only -> one shard, 8 slots, wraps 12x
+	for i := 0; i < total; i++ {
+		tr.Record(0, OpWrite, 1, int64(i)*4096, 4096, int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("got %d events after wraparound, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(total - 8 + i + 1)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Op != "write" || e.Worker != 0 || e.File != 1 {
+			t.Errorf("event %d decoded wrong: %+v", i, e)
+		}
+		if e.Off != (int64(e.Seq)-1)*4096 {
+			t.Errorf("event %d: off %d, want %d", i, e.Off, (int64(e.Seq)-1)*4096)
+		}
+	}
+	var sb strings.Builder
+	if err := tr.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 8 {
+		t.Errorf("Format wrote %d lines, want 8", n)
+	}
+}
+
+func TestTraceRingShardsAndFields(t *testing.T) {
+	tr := NewTraceRing(16)
+	// Workers spread across shards; negative-looking fields must round-trip.
+	tr.Record(3, OpSnapshot, 200, 1<<40, 123, 456)
+	tr.Record(19, OpFsync, 0, 0, 0, 9) // 19 & 15 == 3: same shard as worker 3
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Worker != 3 || evs[0].Op != "snapshot" || evs[0].File != 200 ||
+		evs[0].Off != 1<<40 || evs[0].Len != 123 || evs[0].DurNS != 456 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Worker != 19 || evs[1].Op != "fsync" {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpWrite, OpRead, OpFsync, OpWriteMulti, OpSnapshot, OpSnapDrop,
+		OpSnapRead, OpCleanerPass, OpCheckpoint, OpRecovery}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") || seen[s] {
+			t.Errorf("op %d: bad or duplicate name %q", o, s)
+		}
+		seen[s] = true
+	}
+	if Op(99).String() != "op(99)" {
+		t.Errorf("unknown op name = %q", Op(99).String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(1)
+	tr := NewTraceRing(8)
+	tr.Record(0, OpWrite, 0, 0, 8, 1)
+	h := Handler(func() *Snapshot { return r.Snapshot() }, tr)
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "mgsp_a_b") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body := get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json code=%d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil || s.Values["a.b"] != 1 {
+		t.Errorf("/metrics.json bad body: %v %q", err, body)
+	}
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, "write") {
+		t.Errorf("/trace: code=%d body=%q", code, body)
+	}
+
+	empty := Handler(func() *Snapshot { return nil }, nil)
+	rec := httptest.NewRecorder()
+	empty.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 503 {
+		t.Errorf("nil snapshot: code=%d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	empty.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil ring /trace: code=%d, want 404", rec.Code)
+	}
+}
+
+// BenchmarkDisabledHotPath is the disabled-mode overhead guard: with
+// obs.Disabled set, the full per-op probe sequence (counter adds always run;
+// histogram observes and trace records short-circuit) must not allocate.
+func BenchmarkDisabledHotPath(b *testing.B) {
+	Disabled = true
+	defer func() { Disabled = false }()
+	var c Counter
+	var h Histogram
+	tr := NewTraceRing(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(int64(i))
+		tr.Record(i, OpWrite, 1, int64(i), 4096, int64(i))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(1)
+		tr.Record(0, OpWrite, 1, 0, 4096, 1)
+	}); allocs != 0 {
+		b.Fatalf("disabled hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestDisabledHotPathZeroAllocs asserts the same property in the regular
+// test run, so the merge gate catches a regression without running benches.
+func TestDisabledHotPathZeroAllocs(t *testing.T) {
+	Disabled = true
+	defer func() { Disabled = false }()
+	var c Counter
+	var h Histogram
+	tr := NewTraceRing(64)
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Add(1)
+		h.Observe(1)
+		tr.Record(0, OpWrite, 1, 0, 4096, 1)
+	}); allocs != 0 {
+		t.Fatalf("disabled hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkEnabledHotPath documents the enabled-path cost for comparison.
+func BenchmarkEnabledHotPath(b *testing.B) {
+	var c Counter
+	var h Histogram
+	tr := NewTraceRing(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(int64(i))
+		tr.Record(i, OpWrite, 1, int64(i), 4096, int64(i))
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if bucketUpper(0) != 0 || bucketUpper(1) != 1 || bucketUpper(4) != 15 {
+		t.Fatalf("bucketUpper: %d %d %d", bucketUpper(0), bucketUpper(1), bucketUpper(4))
+	}
+	if bucketUpper(63) <= 0 || bucketUpper(70) <= 0 {
+		t.Fatal("bucketUpper must saturate, not overflow")
+	}
+}
+
+func ExampleSnapshot_String() {
+	r := NewRegistry()
+	r.Counter("x").Add(2)
+	fmt.Print(r.Snapshot().String())
+	// Output: x 2
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SnapshotSchema versions the JSON form of a registry snapshot.
+const SnapshotSchema = "mgsp-obs/v1"
+
+// kind discriminates registered metrics.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindFunc
+	kindHist
+)
+
+type metric struct {
+	kind kind
+	c    *Counter
+	g    *Gauge
+	f    func() float64
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. One registry per file system
+// (or device set): registration happens at mount time, off the hot path,
+// and probes hold direct pointers to their metrics — the registry is only
+// walked at snapshot/export time.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]metric)}
+}
+
+func (r *Registry) put(name string, mt metric) {
+	r.mu.Lock()
+	r.m[name] = mt
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mt, ok := r.m[name]; ok && mt.kind == kindCounter {
+		return mt.c
+	}
+	c := &Counter{}
+	r.m[name] = metric{kind: kindCounter, c: c}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mt, ok := r.m[name]; ok && mt.kind == kindGauge {
+		return mt.g
+	}
+	g := &Gauge{}
+	r.m[name] = metric{kind: kindGauge, g: g}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mt, ok := r.m[name]; ok && mt.kind == kindHist {
+		return mt.h
+	}
+	h := &Histogram{}
+	r.m[name] = metric{kind: kindHist, h: h}
+	return h
+}
+
+// RegisterCounter registers an externally owned counter (the migration path
+// for pre-existing stats structs), replacing any previous registration.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.put(name, metric{kind: kindCounter, c: c})
+}
+
+// RegisterFunc registers a derived read-only metric, evaluated at snapshot
+// time (e.g. a write-amplification ratio over two live counters).
+func (r *Registry) RegisterFunc(name string, f func() float64) {
+	r.put(name, metric{kind: kindFunc, f: f})
+}
+
+// Snapshot is a point-in-time copy of a registry, the unit every exporter
+// consumes. Values holds counters, gauges, and derived metrics; Hists holds
+// histogram snapshots.
+type Snapshot struct {
+	Schema string                  `json:"schema"`
+	Values map[string]float64      `json:"values"`
+	Hists  map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{Schema: SnapshotSchema, Values: make(map[string]float64, len(r.m))}
+	for name, mt := range r.m {
+		switch mt.kind {
+		case kindCounter:
+			s.Values[name] = float64(mt.c.Load())
+		case kindGauge:
+			s.Values[name] = float64(mt.g.Load())
+		case kindFunc:
+			s.Values[name] = mt.f()
+		case kindHist:
+			if s.Hists == nil {
+				s.Hists = make(map[string]HistSnapshot)
+			}
+			s.Hists[name] = mt.h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Diff returns this snapshot with prev's counts subtracted: values and
+// histogram count/sum/bucket totals are deltas, while quantiles and max
+// keep the newer snapshot's view (quantiles of a difference are not
+// recoverable from bucket deltas alone; the deltas themselves are).
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	out := &Snapshot{Schema: s.Schema, Values: make(map[string]float64, len(s.Values))}
+	for name, v := range s.Values {
+		out.Values[name] = v - prev.Values[name]
+	}
+	if s.Hists != nil {
+		out.Hists = make(map[string]HistSnapshot, len(s.Hists))
+		for name, h := range s.Hists {
+			p := prev.Hists[name]
+			d := h
+			d.Count -= p.Count
+			d.Sum -= p.Sum
+			if d.Count > 0 {
+				d.Mean = float64(d.Sum) / float64(d.Count)
+			} else {
+				d.Mean = 0
+			}
+			prevBuckets := make(map[int64]int64, len(p.Buckets))
+			for _, b := range p.Buckets {
+				prevBuckets[b[0]] = b[1]
+			}
+			d.Buckets = nil
+			for _, b := range h.Buckets {
+				if n := b[1] - prevBuckets[b[0]]; n != 0 {
+					d.Buckets = append(d.Buckets, [2]int64{b[0], n})
+				}
+			}
+			out.Hists[name] = d
+		}
+	}
+	return out
+}
+
+// sortedNames returns m's keys in lexical order (stable exporter output).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseSnapshot decodes a snapshot written by WriteJSON, rejecting foreign
+// schemas.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: bad snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("obs: schema %q, want %q", s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}
+
+// String renders the snapshot as aligned human-readable text.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	w := 0
+	for name := range s.Values {
+		if len(name) > w {
+			w = len(name)
+		}
+	}
+	for name := range s.Hists {
+		if len(name) > w {
+			w = len(name)
+		}
+	}
+	for _, name := range sortedNames(s.Values) {
+		v := s.Values[name]
+		if v == float64(int64(v)) {
+			fmt.Fprintf(&b, "%-*s %d\n", w, name, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%-*s %.4f\n", w, name, v)
+		}
+	}
+	for _, name := range sortedNames(s.Hists) {
+		h := s.Hists[name]
+		fmt.Fprintf(&b, "%-*s n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d\n",
+			w, name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+	}
+	return b.String()
+}
+
+// promName rewrites a dotted metric name into a Prometheus-legal one.
+func promName(name string) string {
+	return "mgsp_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition format:
+// plain metrics as gauges, histograms as summaries (quantile labels plus
+// _sum/_count/_max).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedNames(s.Values) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Values[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Hists) {
+		h := s.Hists[name]
+		pn := promName(name)
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n%s_max %d\n",
+			pn, pn, h.P50, pn, h.P95, pn, h.P99, pn, h.Sum, pn, h.Count, pn, h.Max)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Op is a traced operation kind.
+type Op uint8
+
+// Trace op kinds, one per instrumented layer entry point.
+const (
+	OpWrite Op = iota + 1
+	OpRead
+	OpFsync
+	OpWriteMulti
+	OpSnapshot
+	OpSnapDrop
+	OpSnapRead
+	OpCleanerPass
+	OpCheckpoint
+	OpRecovery
+)
+
+// String returns the op's short name.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpFsync:
+		return "fsync"
+	case OpWriteMulti:
+		return "writev"
+	case OpSnapshot:
+		return "snapshot"
+	case OpSnapDrop:
+		return "snap-drop"
+	case OpSnapRead:
+		return "snap-read"
+	case OpCleanerPass:
+		return "cleaner-pass"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpRecovery:
+		return "recovery"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Event is one decoded trace record.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	Worker int    `json:"worker"`
+	Op     string `json:"op"`
+	File   int    `json:"file"`
+	Off    int64  `json:"off"`
+	Len    int64  `json:"len"`
+	DurNS  int64  `json:"dur_ns"`
+}
+
+const (
+	ringShards    = 16 // workers hash here; must be a power of two
+	slotWords     = 5  // seq, meta, off, len, dur
+	minShardSlots = 8
+)
+
+// slot fields, all atomic so concurrent Record/Events stay race-free. A
+// reader racing a wrapping writer can observe a mixed slot; Events filters
+// the common tear (a new seq over old payload is detectable only by the
+// writer, so this ring trades perfect consistency for a zero-lock hot
+// path — it is a flight recorder, not an audit log).
+type traceSlot struct {
+	w [slotWords]atomic.Uint64
+}
+
+type traceShard struct {
+	head  atomic.Uint64
+	slots []traceSlot
+}
+
+// TraceRing is a fixed-size lock-free flight recorder: per-worker-shard
+// rings of the most recent operations (kind, file, offset/len, global seq,
+// duration), dumpable on demand, after recovery, and post-crash (the ring
+// is volatile FS state, so the pre-crash FS object still holds it). Record
+// is seven atomic operations, allocation-free, and short-circuited by
+// Disabled.
+type TraceRing struct {
+	seq    atomic.Uint64
+	mask   uint64
+	shards [ringShards]traceShard
+}
+
+// NewTraceRing builds a ring holding perShard recent events per worker
+// shard (rounded up to a power of two, minimum 8).
+func NewTraceRing(perShard int) *TraceRing {
+	n := minShardSlots
+	for n < perShard {
+		n <<= 1
+	}
+	t := &TraceRing{mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].slots = make([]traceSlot, n)
+	}
+	return t
+}
+
+// Record appends one event. Safe for concurrent use; no-op while Disabled
+// is set or on a nil ring.
+func (t *TraceRing) Record(worker int, op Op, file int, off, length, durNS int64) {
+	if t == nil || Disabled {
+		return
+	}
+	seq := t.seq.Add(1)
+	sh := &t.shards[uint(worker)&(ringShards-1)]
+	s := &sh.slots[sh.head.Add(1)&t.mask]
+	s.w[0].Store(seq)
+	s.w[1].Store(uint64(uint32(worker))<<32 | uint64(op)<<24 | uint64(uint32(file))&0xFFFFFF)
+	s.w[2].Store(uint64(off))
+	s.w[3].Store(uint64(length))
+	s.w[4].Store(uint64(durNS))
+}
+
+// Events returns every recorded event, oldest first (by global sequence).
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		sh := &t.shards[i]
+		for j := range sh.slots {
+			s := &sh.slots[j]
+			seq := s.w[0].Load()
+			if seq == 0 {
+				continue
+			}
+			meta := s.w[1].Load()
+			out = append(out, Event{
+				Seq:    seq,
+				Worker: int(int32(meta >> 32)),
+				Op:     Op(meta >> 24 & 0xFF).String(),
+				File:   int(meta & 0xFFFFFF),
+				Off:    int64(s.w[2].Load()),
+				Len:    int64(s.w[3].Load()),
+				DurNS:  int64(s.w[4].Load()),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Format writes the events as aligned text, one line per event.
+func (t *TraceRing) Format(w io.Writer) error {
+	for _, e := range t.Events() {
+		_, err := fmt.Fprintf(w, "#%-8d w%-4d %-12s file=%-3d off=%-10d len=%-8d dur=%dns\n",
+			e.Seq, e.Worker, e.Op, e.File, e.Off, e.Len, e.DurNS)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

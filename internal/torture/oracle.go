@@ -158,6 +158,24 @@ type Result struct {
 	WorkerOps    map[int]int64
 	Violations   []Violation
 	Schedule     *sim.Schedule
+	// Trace is the verified file system's flight-recorder dump (internal/obs
+	// trace ring), captured only when the oracle found violations: the last
+	// ops — including recovery itself after a crash — that led to the bad
+	// state, for forensics alongside the schedule.
+	Trace string
+}
+
+// captureTrace dumps the verified file system's trace ring into the result,
+// but only when the oracle failed — a clean run keeps the result small.
+func (res *Result) captureTrace(fs *core.FS) {
+	if len(res.Violations) == 0 || fs.TraceRing() == nil {
+		return
+	}
+	var b strings.Builder
+	if err := fs.TraceRing().Format(&b); err != nil {
+		return
+	}
+	res.Trace = b.String()
 }
 
 func (res *Result) addViolation(cfg Config, kind string, region int, detail string) {

@@ -361,10 +361,12 @@ func Run(cfg Config) (*Result, error) {
 			return res, nil
 		}
 		st.verify(cfg, res, rctx, fs2, h2)
+		res.captureTrace(fs2)
 		h2.Close(rctx)
 	} else {
 		// Completed run: same oracle against the live quiescent system.
 		st.verify(cfg, res, setup, r.fs, h)
+		res.captureTrace(r.fs)
 	}
 
 	res.MediaOps = dev.Stats().MediaOps.Load()

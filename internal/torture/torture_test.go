@@ -25,6 +25,9 @@ func failViolations(t *testing.T, res *Result) {
 	if t.Failed() && res.Schedule != nil {
 		t.Logf("schedule:\n%s", res.Schedule)
 	}
+	if t.Failed() && res.Trace != "" {
+		t.Logf("flight recorder:\n%s", res.Trace)
+	}
 }
 
 // TestTortureReplay executes exactly one serial run from the flags above.
