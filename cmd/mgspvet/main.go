@@ -1,0 +1,31 @@
+// Command mgspvet is the MGSP static-analysis vettool: four
+// golang.org/x/tools/go/analysis passes enforcing the crash-consistency
+// invariants the paper's correctness argument rests on (persist ordering,
+// crash-safe lock discipline, atomics hygiene, checksum-before-publish).
+//
+// It speaks the `go vet -vettool` protocol:
+//
+//	go build -o bin/mgspvet ./cmd/mgspvet
+//	go vet -vettool=$(pwd)/bin/mgspvet ./...
+//
+// or via the Makefile: make vet. See DESIGN.md §11 for each analyzer's
+// invariant, its grounding in the paper, and the //mgsp: annotation grammar.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"mgsp/internal/analysis/atomicfield"
+	"mgsp/internal/analysis/checksumpub"
+	"mgsp/internal/analysis/crashsafelocks"
+	"mgsp/internal/analysis/persistorder"
+)
+
+func main() {
+	unitchecker.Main(
+		persistorder.Analyzer,
+		crashsafelocks.Analyzer,
+		atomicfield.Analyzer,
+		checksumpub.Analyzer,
+	)
+}

@@ -1,3 +1,9 @@
 module mgsp
 
-go 1.22
+go 1.22.0
+
+toolchain go1.24.0
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,267 @@
+// Package analysistest is a self-contained golden-file test harness for the
+// mgspvet analyzers, API-compatible with the subset of
+// golang.org/x/tools/go/analysis/analysistest this repo needs. (The real
+// package is not vendored with the Go toolchain, and this repo builds
+// offline against the toolchain's vendored x/tools; see DESIGN.md §11.)
+//
+// Layout: <testdata>/src/<pkgpath>/*.go. Fixture packages import each other
+// by testdata-relative path ("a" imports "nvm" -> testdata/src/nvm); any
+// other import resolves from GOROOT source via go/importer. Expected
+// diagnostics are written as trailing comments on the offending line:
+//
+//	dev.Store8(ctx, 0, 1) // want `regexp matching the message`
+//
+// with one or more backquoted or double-quoted regexps per comment. Run
+// fails the test on any unmatched expectation or unexpected diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string // testdata/src
+	pkgs map[string]*loadedPkg
+	std  types.Importer
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		root: root,
+		pkgs: make(map[string]*loadedPkg),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer: testdata-relative packages first, then
+// GOROOT source for everything else.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.pkg, p.err
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p := l.load(path, dir)
+		return p.pkg, p.err
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path, dir string) *loadedPkg {
+	p := &loadedPkg{}
+	l.pkgs[path] = p // pre-register to break cycles into type errors
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		p.err = fmt.Errorf("analysistest: no Go files in %s", dir)
+		return p
+	}
+	sort.Strings(matches)
+	for _, m := range matches {
+		f, err := parser.ParseFile(l.fset, m, nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.files = append(p.files, f)
+	}
+	p.info = &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	p.pkg, p.err = conf.Check(path, l.fset, p.files, p.info)
+	return p
+}
+
+// runAnalyzer executes a (and, recursively, its Requires) on the package.
+func runAnalyzer(t *testing.T, l *loader, p *loadedPkg, a *analysis.Analyzer,
+	results map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic)) interface{} {
+	if r, ok := results[a]; ok {
+		return r
+	}
+	deps := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		deps[req] = runAnalyzer(t, l, p, req, results, report)
+	}
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              l.fset,
+		Files:             p.files,
+		Pkg:               p.pkg,
+		TypesInfo:         p.info,
+		TypesSizes:        types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:          deps,
+		Report:            report,
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("analyzer %s failed on %s: %v", a.Name, p.pkg.Path(), err)
+	}
+	results[a] = res
+	return res
+}
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("^//.*\\bwant\\b(.*)$")
+
+// parseWants extracts want expectations from a file's comments. The portion
+// after `want` is a whitespace-separated sequence of Go double-quoted or
+// backquoted strings, each a regexp.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					var raw string
+					switch rest[0] {
+					case '`':
+						end := strings.IndexByte(rest[1:], '`')
+						if end < 0 {
+							t.Fatalf("%s: unterminated backquote in want: %s", pos, c.Text)
+						}
+						raw = rest[1 : 1+end]
+						rest = strings.TrimSpace(rest[2+end:])
+					case '"':
+						var err error
+						// Find the closing quote by Unquote-ing growing prefixes.
+						end := -1
+						for i := 1; i < len(rest); i++ {
+							if rest[i] == '"' && rest[i-1] != '\\' {
+								end = i
+								break
+							}
+						}
+						if end < 0 {
+							t.Fatalf("%s: unterminated quote in want: %s", pos, c.Text)
+						}
+						raw, err = strconv.Unquote(rest[:end+1])
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, rest[:end+1], err)
+						}
+						rest = strings.TrimSpace(rest[end+1:])
+					default:
+						t.Fatalf("%s: want expects quoted or backquoted regexps, got %q", pos, rest)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, text: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring the real analysistest API.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Run loads each named package from testdata/src, applies the analyzer, and
+// compares diagnostics against the // want expectations in the sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	for _, pkgpath := range pkgpaths {
+		pkgpath := pkgpath
+		t.Run(pkgpath, func(t *testing.T) {
+			t.Helper()
+			l := newLoader(root)
+			pkg, err := l.Import(pkgpath)
+			if err != nil || pkg == nil {
+				t.Fatalf("loading %s: %v", pkgpath, err)
+			}
+			p := l.pkgs[pkgpath]
+			var diags []analysis.Diagnostic
+			runAnalyzer(t, l, p, a, make(map[*analysis.Analyzer]interface{}),
+				func(d analysis.Diagnostic) { diags = append(diags, d) })
+
+			wants := parseWants(t, l.fset, p.files)
+			for _, d := range diags {
+				pos := l.fset.Position(d.Pos)
+				matched := false
+				for _, w := range wants {
+					if w.met || w.file != pos.Filename || w.line != pos.Line {
+						continue
+					}
+					if w.re.MatchString(d.Message) {
+						w.met = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.met {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,272 @@
+// Package atomicfield defines an analyzer for two atomics invariants the
+// observability subsystem (internal/obs) and its users rely on:
+//
+//  1. obs.Counter / obs.Gauge / obs.Histogram values must never be copied —
+//     a copy snapshots the embedded atomic non-atomically and splits the
+//     metric into two divergent cells. All access goes through the pointer
+//     accessors (Add/Load/Store/Set/Observe).
+//
+//  2. Plain int64/uint64 struct fields that the package accesses with
+//     sync/atomic functions must be 64-bit aligned on 32-bit platforms
+//     (offset % 8 == 0 under 386 layout; in practice: first in the struct),
+//     and every other access to such a field must also go through
+//     sync/atomic. Fields of type atomic.Int64/Uint64 are exempt — they
+//     self-align via the embedded align64 marker since Go 1.19, which is
+//     why obs.Counter needs no placement rule.
+//
+// Suppress with //mgsp:atomic-copy-ok or //mgsp:unaligned-ok plus a
+// one-line justification.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mgsp/internal/analysis/mgspmatch"
+)
+
+const doc = `check obs metric values are not copied and raw 64-bit atomic fields are aligned and accessed atomically
+
+obs.Counter/Gauge/Histogram are single atomic cells; copying one forks the
+metric. Raw int64/uint64 fields used with sync/atomic must sit at 8-byte
+offsets (32-bit platforms guarantee only 4-byte struct alignment) and must
+not be read or written non-atomically elsewhere in the package.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func isObsMetric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return mgspmatch.IsNamed(t, "obs", "Counter") ||
+		mgspmatch.IsNamed(t, "obs", "Gauge") ||
+		mgspmatch.IsNamed(t, "obs", "Histogram")
+}
+
+// metricName returns "obs.Counter" style display names.
+func metricName(t types.Type) string {
+	n, _ := types.Unalias(t).(*types.Named)
+	if n == nil {
+		return t.String()
+	}
+	return "obs." + n.Obj().Name()
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "obs") {
+		return nil, nil // the accessors themselves live here
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+
+	reportCopy := func(pos ast.Node, t types.Type, how string) {
+		if dirs.Has(pos.Pos(), mgspmatch.AtomicCopyOK) {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: pos.Pos(),
+			Message: fmt.Sprintf("%s %s: copying forks the atomic cell; use the pointer accessors (Add/Load/Store/Set/Observe) or a pointer",
+				how, metricName(t)),
+		})
+	}
+
+	// metricValue returns the obs metric type if e evaluates to a metric BY
+	// VALUE. A fresh zero composite literal (obs.Counter{}) is not a copy of
+	// a live cell and is skipped unless allowLit — plain `=` assignment over
+	// an existing metric is a non-atomic reset and stays flagged.
+	metricValue := func(e ast.Expr, allowLit bool) types.Type {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || !isObsMetric(tv.Type) {
+			return nil
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return nil
+		}
+		if _, isLit := ast.Unparen(e).(*ast.CompositeLit); isLit && !allowLit {
+			return nil
+		}
+		return tv.Type
+	}
+
+	// ---- invariant 1: no value copies of obs metrics ----
+	ins.Preorder([]ast.Node{
+		(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil), (*ast.CallExpr)(nil),
+		(*ast.ReturnStmt)(nil), (*ast.CompositeLit)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if t := metricValue(rhs, n.Tok == token.ASSIGN); t != nil {
+					reportCopy(rhs, t, "assignment copies")
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if t := metricValue(v, false); t != nil {
+					reportCopy(v, t, "initialization copies")
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if t := metricValue(a, false); t != nil {
+					reportCopy(a, t, "call passes by value")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if t := metricValue(r, false); t != nil {
+					reportCopy(r, t, "return copies")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if t := metricValue(v, false); t != nil {
+					reportCopy(v, t, "composite literal copies")
+				}
+			}
+		}
+	})
+
+	// ---- invariant 2: raw 64-bit atomic fields ----
+	checkRawFields(pass, ins, dirs)
+	return nil, nil
+}
+
+// fieldKey identifies a struct field.
+type fieldKey struct {
+	typ   *types.Named
+	field *types.Var
+}
+
+func checkRawFields(pass *analysis.Pass, ins *inspector.Inspector, dirs *mgspmatch.Directives) {
+	// Pass 1: find &x.f arguments of sync/atomic *Int64/*Uint64 functions.
+	atomicArgs := make(map[*ast.SelectorExpr]bool) // selectors used under & in atomic calls
+	fields := make(map[fieldKey]ast.Node)          // atomically-used raw fields -> first call site
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := mgspmatch.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if !strings.HasSuffix(fn.Name(), "Int64") && !strings.HasSuffix(fn.Name(), "Uint64") {
+			return
+		}
+		for _, a := range call.Args {
+			u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+			if !ok || u.Op.String() != "&" {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			f, _ := s.Obj().(*types.Var)
+			recv := s.Recv()
+			if p, ok := recv.Underlying().(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, _ := types.Unalias(recv).(*types.Named)
+			if f == nil || named == nil {
+				continue
+			}
+			atomicArgs[sel] = true
+			k := fieldKey{named, f}
+			if _, ok := fields[k]; !ok {
+				fields[k] = call
+			}
+		}
+	})
+	if len(fields) == 0 {
+		return
+	}
+
+	// Alignment under 32-bit layout: the struct itself is only 4-byte
+	// aligned, so a field is guaranteed 8-byte aligned only if its 386
+	// offset is 0 mod 8 AND everything before it is 8-byte-multiple sized —
+	// offset 0 (first field) is the only portable guarantee; we accept any
+	// 0-mod-8 offset as the conventional rule (matching go vet's practice
+	// for the analogous structs in the standard library).
+	sizes := types.SizesFor("gc", "386")
+	for k, site := range fields {
+		st, ok := k.typ.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var all []*types.Var
+		idx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			all = append(all, st.Field(i))
+			if st.Field(i) == k.field {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if dirs.Has(site.Pos(), mgspmatch.UnalignedOK) {
+			continue
+		}
+		off := sizes.Offsetsof(all)[idx]
+		if off%8 != 0 {
+			pass.Report(analysis.Diagnostic{
+				Pos: site.Pos(),
+				Message: fmt.Sprintf("atomic 64-bit access to %s.%s, which is at offset %d on 32-bit platforms (not 8-byte aligned): move the field to the front of the struct or use atomic.Int64/Uint64",
+					k.typ.Obj().Name(), k.field.Name(), off),
+			})
+		}
+	}
+
+	// Pass 2: every other selection of an atomically-used field must also be
+	// atomic (or take its address for an atomic call elsewhere — we only
+	// whitelist the exact &f arguments seen above).
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if atomicArgs[sel] {
+			return
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		f, _ := s.Obj().(*types.Var)
+		recv := s.Recv()
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, _ := types.Unalias(recv).(*types.Named)
+		if f == nil || named == nil {
+			return
+		}
+		if _, tracked := fields[fieldKey{named, f}]; !tracked {
+			return
+		}
+		if dirs.Has(sel.Pos(), mgspmatch.AtomicCopyOK) {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: sel.Pos(),
+			Message: fmt.Sprintf("non-atomic access to %s.%s, which is accessed with sync/atomic elsewhere in this package: mixing modes races",
+				named.Obj().Name(), f.Name()),
+		})
+	})
+}

@@ -1,0 +1,77 @@
+// Package a holds the atomicfield invariant-1 golden cases: by-value uses
+// of obs metric cells.
+package a
+
+import "obs"
+
+type stats struct {
+	Hits  obs.Counter
+	Depth obs.Gauge
+	Lat   obs.Histogram
+}
+
+type wrapper struct{ c obs.Counter }
+
+func record(c obs.Counter) {} // the parameter type itself is fine; passing a live cell is not
+
+// badAssignCopy: := snapshots the cell non-atomically and forks it.
+func badAssignCopy(s *stats) {
+	c := s.Hits // want `assignment copies obs\.Counter`
+	_ = c.Load()
+}
+
+// badReset: plain = over a live cell is a non-atomic reset, even with a
+// fresh zero literal on the right.
+func badReset(s *stats) {
+	s.Depth = obs.Gauge{} // want `assignment copies obs\.Gauge`
+}
+
+// badVarInit: var initialization copies the same way := does.
+func badVarInit(s *stats) {
+	var d = s.Depth // want `initialization copies obs\.Gauge`
+	_ = d.Load()
+}
+
+// badCallArg: pass-by-value hands the callee a dead fork.
+func badCallArg(s *stats) {
+	record(s.Hits) // want `call passes by value obs\.Counter`
+}
+
+// badReturn: returning by value copies.
+func badReturn(s *stats) obs.Counter {
+	return s.Hits // want `return copies obs\.Counter`
+}
+
+// badCompositeLit: embedding a live cell into a literal copies it.
+func badCompositeLit(s *stats) {
+	w := wrapper{c: s.Hits} // want `composite literal copies obs\.Counter`
+	_ = w.c.Load()
+}
+
+// goodAccessors: all access through the pointer accessors.
+func goodAccessors(s *stats) int64 {
+	s.Hits.Add(1)
+	s.Depth.Set(3)
+	s.Lat.Observe(17)
+	return s.Hits.Load()
+}
+
+// goodPointer: taking the address shares the one true cell.
+func goodPointer(s *stats) *obs.Counter {
+	p := &s.Hits
+	p.Add(1)
+	return p
+}
+
+// goodFreshLit: a zero literal in a declaration is a new cell, not a copy.
+func goodFreshLit() int64 {
+	c := obs.Counter{}
+	c.Add(1)
+	return c.Load()
+}
+
+// goodAnnotated: explicit suppression with justification.
+func goodAnnotated(s *stats) {
+	c := s.Hits //mgsp:atomic-copy-ok test-only snapshot, no writers running
+	_ = c.Load()
+}

@@ -1,0 +1,67 @@
+// Package b holds the atomicfield invariant-2 golden cases: raw
+// int64/uint64 fields driven through sync/atomic.
+package b
+
+import "sync/atomic"
+
+// badLayout: pad pushes n to offset 4 under 386 layout, where the struct
+// itself is only 4-byte aligned — AddInt64 faults or tears there.
+type badLayout struct {
+	pad int32
+	n   int64
+}
+
+func bumpBad(x *badLayout) {
+	atomic.AddInt64(&x.n, 1) // want `atomic 64-bit access to badLayout\.n, which is at offset 4 on 32-bit platforms`
+}
+
+// goodLayout: the 64-bit field leads the struct, so offset 0 everywhere.
+type goodLayout struct {
+	n   int64
+	pad int32
+}
+
+func bumpGood(x *goodLayout) {
+	atomic.AddInt64(&x.n, 1)
+}
+
+// goodUint64: the unsigned variants are matched the same way.
+type goodUint64 struct {
+	seq uint64
+}
+
+func nextSeq(x *goodUint64) uint64 {
+	return atomic.AddUint64(&x.seq, 1)
+}
+
+// mixed: aligned, but read and written both with and without sync/atomic —
+// the plain accesses race against the atomic ones.
+type mixed struct {
+	n int64
+}
+
+func incMixed(m *mixed) {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func loadMixedAtomic(m *mixed) int64 {
+	return atomic.LoadInt64(&m.n) // atomic everywhere: fine
+}
+
+func peekMixed(m *mixed) int64 {
+	return m.n // want `non-atomic access to mixed\.n, which is accessed with sync/atomic elsewhere in this package: mixing modes races`
+}
+
+func resetMixed(m *mixed) {
+	m.n = 0 // want `non-atomic access to mixed\.n, which is accessed with sync/atomic elsewhere in this package: mixing modes races`
+}
+
+// legacy: misaligned but explicitly waived (64-bit-only build target).
+type legacy struct {
+	flag int32
+	n    int64
+}
+
+func bumpLegacy(x *legacy) {
+	atomic.AddInt64(&x.n, 1) //mgsp:unaligned-ok amd64-only tool, never built for 32-bit
+}

@@ -1,0 +1,29 @@
+// Package obs is a minimal stand-in for mgsp/internal/obs: single-cell
+// metrics wrapping atomic.Int64 with pointer accessors.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric cell.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a set/load metric cell.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(x int64)  { g.v.Store(x) }
+func (g *Gauge) Load() int64  { return g.v.Load() }
+func (g *Gauge) Store(x int64) { g.v.Store(x) }
+
+// Histogram is a bucketed distribution.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+}
+
+func (h *Histogram) Observe(x int64) {
+	h.count.Add(1)
+	h.sum.Add(x)
+}

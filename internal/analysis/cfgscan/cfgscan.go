@@ -1,0 +1,166 @@
+// Package cfgscan provides the small forward-reachability engine shared by
+// the mgspvet analyzers. It flattens each cfg.Block into the function calls
+// it executes (in approximate evaluation order) and answers "starting after
+// call X, is a call classified Hit reachable before any call classified
+// Stop?" — the shape of every ordering invariant mgspvet enforces
+// (write-before-commit, lock-before-media-op, checksum-before-publish).
+package cfgscan
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/cfg"
+)
+
+// Class is a classification of one call site along a path.
+type Class int
+
+const (
+	// Continue: the call is irrelevant to the invariant; keep walking.
+	Continue Class = iota
+	// Stop: the call satisfies/renews the invariant; abandon this path.
+	Stop
+	// Hit: the call violates the invariant; report it.
+	Hit
+)
+
+// Calls returns the CallExprs evaluated by the block's nodes, in approximate
+// evaluation order (operands before the calls that consume them). Calls
+// inside DeferStmt arguments run at statement time but the deferred call
+// itself does not, and FuncLit bodies execute only when invoked — both are
+// excluded; the analyzers handle defers and nested functions separately.
+func Calls(b *cfg.Block) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	for _, n := range b.Nodes {
+		out = appendCalls(out, n)
+	}
+	return out
+}
+
+func appendCalls(out []*ast.CallExpr, n ast.Node) []*ast.CallExpr {
+	if n == nil {
+		return out
+	}
+	var visit func(ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // body runs elsewhere
+		case *ast.DeferStmt:
+			// Receiver and arguments evaluate now; the call itself is
+			// deferred to function exit.
+			if x.Call != nil {
+				ast.Inspect(x.Call.Fun, visit)
+				for _, a := range x.Call.Args {
+					ast.Inspect(a, visit)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			// Post-order: operands first, then the call.
+			ast.Inspect(x.Fun, visit)
+			for _, a := range x.Args {
+				ast.Inspect(a, visit)
+			}
+			out = append(out, x)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return out
+}
+
+// Pos identifies one call within a CFG: the bi-th call of block b.
+type Pos struct {
+	Block *cfg.Block
+	Index int
+}
+
+// FindCall locates call within g, or returns a zero Pos and false.
+func FindCall(g *cfg.CFG, call *ast.CallExpr) (Pos, bool) {
+	for _, b := range g.Blocks {
+		for i, c := range Calls(b) {
+			if c == call {
+				return Pos{b, i}, true
+			}
+		}
+	}
+	return Pos{}, false
+}
+
+// ReachableAfter walks forward from the call at p (exclusive) and returns
+// the first call classified Hit on some path that crossed no Stop call, or
+// nil if every path Stops or exits first. The walk is per-block memoized, so
+// it is linear in the CFG size.
+func ReachableAfter(g *cfg.CFG, p Pos, classify func(*ast.CallExpr) Class) *ast.CallExpr {
+	// Scan the remainder of the start block.
+	calls := Calls(p.Block)
+	for _, c := range calls[p.Index+1:] {
+		switch classify(c) {
+		case Stop:
+			return nil
+		case Hit:
+			return c
+		}
+	}
+	seen := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block) *ast.CallExpr
+	walk = func(b *cfg.Block) *ast.CallExpr {
+		if seen[b] {
+			return nil
+		}
+		seen[b] = true
+		for _, c := range Calls(b) {
+			switch classify(c) {
+			case Stop:
+				return nil
+			case Hit:
+				return c
+			}
+		}
+		for _, s := range b.Succs {
+			if hit := walk(s); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	for _, s := range p.Block.Succs {
+		if hit := walk(s); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// ReachableFromEntry walks forward from the function entry and returns the
+// first Hit call reachable along a path that crossed no Stop call.
+func ReachableFromEntry(g *cfg.CFG, classify func(*ast.CallExpr) Class) *ast.CallExpr {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	seen := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block) *ast.CallExpr
+	walk = func(b *cfg.Block) *ast.CallExpr {
+		if seen[b] {
+			return nil
+		}
+		seen[b] = true
+		for _, c := range Calls(b) {
+			switch classify(c) {
+			case Stop:
+				return nil
+			case Hit:
+				return c
+			}
+		}
+		for _, s := range b.Succs {
+			if hit := walk(s); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(g.Blocks[0])
+}

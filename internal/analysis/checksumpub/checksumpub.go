@@ -1,0 +1,127 @@
+// Package checksumpub defines an analyzer for the metadata-log entry
+// construction invariant: in any function that computes an entry checksum,
+// the media publish (Device.WriteNT/Write of the entry buffer, or the
+// Store8/CAS8 publish store) must be dominated by the checksum computation.
+// A path that reaches the publish without assigning the checksum persists an
+// entry that recovery will mis-validate — either rejected (losing a
+// committed op) or, worse, accepted with a stale checksum that happens to
+// match.
+//
+// The function-level gate keeps the analyzer quiet on checksum-free code:
+// deliberately unchecksummed stores (e.g. the checkpoint cell's ckptDirHW
+// word) live in functions that compute no checksum and are never flagged.
+// Inside a gated function, suppress a deliberate unchecksummed store with
+// //mgsp:unchecksummed-publish <justification>.
+package checksumpub
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"mgsp/internal/analysis/cfgscan"
+	"mgsp/internal/analysis/mgspmatch"
+)
+
+const doc = `check that a media publish is not reachable before the checksum assignment
+
+In functions that compute a checksum (crc32/crc64, or any callee whose name
+contains "checksum"), every Device.Write/WriteNT/Store8/CAS8 must lie on the
+far side of the checksum computation on all paths from function entry.
+Suppress with //mgsp:unchecksummed-publish <justification>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "checksumpub",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// isChecksumCall reports whether c computes a checksum: a crc32/crc64
+// package function, or any callee whose name contains "checksum".
+func isChecksumCall(pass *analysis.Pass, c *ast.CallExpr) bool {
+	fn := mgspmatch.Callee(pass.TypesInfo, c)
+	if fn == nil {
+		return false
+	}
+	if strings.Contains(strings.ToLower(fn.Name()), "checksum") {
+		return true
+	}
+	if p := fn.Pkg(); p != nil &&
+		(mgspmatch.PkgPathIs(p.Path(), "crc32") || mgspmatch.PkgPathIs(p.Path(), "crc64")) {
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") {
+		return nil, nil
+	}
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+
+	check := func(g *cfg.CFG) {
+		if g == nil {
+			return
+		}
+		// Gate: the function must compute a checksum somewhere.
+		var publishes []*ast.CallExpr
+		hasChecksum := false
+		for _, b := range g.Blocks {
+			for _, c := range cfgscan.Calls(b) {
+				if isChecksumCall(pass, c) {
+					hasChecksum = true
+				}
+				switch mgspmatch.DeviceMethod(pass.TypesInfo, c) {
+				case "Write", "WriteNT", "Store8", "CAS8":
+					publishes = append(publishes, c)
+				}
+			}
+		}
+		if !hasChecksum || len(publishes) == 0 {
+			return
+		}
+		for _, pub := range publishes {
+			if dirs.Has(pub.Pos(), mgspmatch.UnchecksummedPublish) {
+				continue
+			}
+			hit := cfgscan.ReachableFromEntry(g, func(c *ast.CallExpr) cfgscan.Class {
+				if c == pub {
+					return cfgscan.Hit
+				}
+				if isChecksumCall(pass, c) {
+					return cfgscan.Stop
+				}
+				return cfgscan.Continue
+			})
+			if hit != nil {
+				m := mgspmatch.DeviceMethod(pass.TypesInfo, pub)
+				pass.Report(analysis.Diagnostic{
+					Pos: pub.Pos(),
+					Message: fmt.Sprintf("Device.%s publish reachable before the checksum is computed: a crash here persists an entry whose checksum field is stale; compute the checksum on every path first or annotate //mgsp:unchecksummed-publish",
+						m),
+				})
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					check(cfgs.FuncDecl(n))
+				}
+			case *ast.FuncLit:
+				check(cfgs.FuncLit(n))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

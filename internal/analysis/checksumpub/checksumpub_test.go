@@ -1,0 +1,12 @@
+package checksumpub_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/checksumpub"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checksumpub.Analyzer, "a")
+}

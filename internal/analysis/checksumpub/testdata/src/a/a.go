@@ -1,0 +1,85 @@
+// Package a holds the checksumpub golden cases: metadata-log entry
+// construction where the publish must be dominated by the checksum
+// computation.
+package a
+
+import (
+	"hash/crc32"
+
+	"nvm"
+	"sim"
+)
+
+type entry struct {
+	payload [56]byte
+	sum     uint32
+}
+
+// entryChecksum is matched by name ("checksum" substring).
+func entryChecksum(e *entry) uint32 {
+	var x uint32
+	for _, b := range e.payload {
+		x = x*16777619 ^ uint32(b)
+	}
+	return x
+}
+
+func encode(e *entry) []byte { return e.payload[:] }
+
+// badPublishBeforeChecksum: the entry write happens before the sum is
+// computed — a crash between them persists a stale checksum field.
+func badPublishBeforeChecksum(ctx *sim.Ctx, dev *nvm.Device, e *entry) {
+	dev.WriteNT(ctx, encode(e), 0) // want `Device\.WriteNT publish reachable before the checksum is computed`
+	e.sum = entryChecksum(e)
+	dev.Fence(ctx)
+}
+
+// badBranchSkipsChecksum: only the full-entry path computes the sum; the
+// small-entry path publishes with whatever was in e.sum.
+func badBranchSkipsChecksum(ctx *sim.Ctx, dev *nvm.Device, e *entry, full bool) {
+	if full {
+		e.sum = entryChecksum(e)
+	}
+	dev.WriteNT(ctx, encode(e), 0) // want `Device\.WriteNT publish reachable before the checksum is computed`
+	dev.Fence(ctx)
+}
+
+// badTagStoreBeforeChecksum: the Store8 commit tag is also a publish.
+func badTagStoreBeforeChecksum(ctx *sim.Ctx, dev *nvm.Device, e *entry) {
+	dev.Store8(ctx, 0, 1) // want `Device\.Store8 publish reachable before the checksum is computed`
+	e.sum = entryChecksum(e)
+	dev.WriteNT(ctx, encode(e), 8)
+	dev.Fence(ctx)
+}
+
+// goodChecksumDominates: the metaLog.commit shape — sum first, then write,
+// fence, tag.
+func goodChecksumDominates(ctx *sim.Ctx, dev *nvm.Device, e *entry) {
+	e.sum = entryChecksum(e)
+	dev.WriteNT(ctx, encode(e), 0)
+	dev.Fence(ctx)
+	dev.Store8(ctx, 64, 1)
+}
+
+// goodCRCDominates: stdlib crc32 is recognized as the checksum source.
+func goodCRCDominates(ctx *sim.Ctx, dev *nvm.Device, e *entry) {
+	e.sum = crc32.ChecksumIEEE(e.payload[:])
+	dev.WriteNT(ctx, encode(e), 0)
+	dev.Fence(ctx)
+}
+
+// goodUngated: no checksum anywhere in the function — the deliberately
+// unchecksummed checkpoint-word shape is outside the gate entirely.
+func goodUngated(ctx *sim.Ctx, dev *nvm.Device, hw uint64) {
+	dev.Store8(ctx, 128, hw)
+	dev.Fence(ctx)
+}
+
+// goodAnnotated: a gated function may still carry one deliberate
+// unchecksummed store if annotated.
+func goodAnnotated(ctx *sim.Ctx, dev *nvm.Device, e *entry, hw uint64) {
+	dev.Store8(ctx, 128, hw) //mgsp:unchecksummed-publish high-water word is self-validating (monotonic, 8-byte atomic)
+	e.sum = entryChecksum(e)
+	dev.WriteNT(ctx, encode(e), 0)
+	dev.Fence(ctx)
+}

@@ -1,0 +1,259 @@
+// Package crashsafelocks defines an analyzer for the lock discipline that
+// PR 3's torture harness enforced at runtime: under crashtest, every media
+// op can panic (a simulated crash unwinds the stack), so a mutex or MGL
+// lock must never be held across a media op unless its unlock is deferred —
+// otherwise the panic leaks the lock to the surviving workers. PR 3 fixed
+// three such leaks (directory.create, DropSnapshot x2) found only by a
+// 200-point torture sweep; this analyzer catches the shape at vet time.
+//
+// A "crash point" is (a) a direct nvm.Device media-op call, (b) a call to a
+// same-package function that transitively performs one, or (c) a call into
+// another non-sim/non-obs package that takes a *sim.Ctx parameter — in this
+// codebase ctx is threaded precisely through the operations that can issue
+// media ops. Locks are recognized by method name (Lock/RLock acquire,
+// Unlock/RUnlock release) paired by receiver expression. A Lock with no
+// same-function Unlock on the same receiver is an intentional
+// acquire-and-escape handoff (e.g. lockOp/release) and is not tracked.
+// Suppress a finding with //mgsp:crash-locked <justification>.
+package crashsafelocks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"mgsp/internal/analysis/cfgscan"
+	"mgsp/internal/analysis/mgspmatch"
+)
+
+const doc = `check that locks are not held across crash-injection points without a deferred unlock
+
+Under crashtest a media op may panic mid-operation; a non-deferred unlock on
+the same path then leaks the lock. Use defer, or a locked closure around the
+media-op section. Suppress with //mgsp:crash-locked <justification>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "crashsafelocks",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func isAcquire(name string) bool { return name == "Lock" || name == "RLock" }
+func isRelease(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+// lockMethod returns the method name if call is any Lock/RLock/Unlock/
+// RUnlock method call, with a non-empty receiver key.
+func lockMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
+	fn := mgspmatch.Callee(info, call)
+	if fn == nil {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	n := fn.Name()
+	if !isAcquire(n) && !isRelease(n) {
+		return "", ""
+	}
+	return n, mgspmatch.RecvKey(call)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") ||
+		mgspmatch.PkgPathIs(pass.Pkg.Path(), "sim") {
+		// The device and simulator implement the crash machinery itself.
+		return nil, nil
+	}
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	crashFns := localCrashFuncs(pass)
+
+	// isCrashPoint classifies one call as able to panic at a crash-injection
+	// fail point.
+	isCrashPoint := func(c *ast.CallExpr) bool {
+		if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); m != "" {
+			return mgspmatch.DeviceMediaOps[m]
+		}
+		fn := mgspmatch.Callee(pass.TypesInfo, c)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if isAcquire(fn.Name()) || isRelease(fn.Name()) || fn.Name() == "TryLock" ||
+			fn.Name() == "TryRLock" || fn.Name() == "TryLockHint" || fn.Name() == "LockLazy" {
+			return false // lock ops take ctx for cost accounting only
+		}
+		if fn.Pkg() == pass.Pkg {
+			return crashFns[fn]
+		}
+		p := fn.Pkg().Path()
+		if mgspmatch.PkgPathIs(p, "sim") || mgspmatch.PkgPathIs(p, "obs") {
+			return false
+		}
+		return mgspmatch.HasSimCtxParam(fn)
+	}
+
+	check := func(g *cfg.CFG, deferred map[string]bool) {
+		if g == nil {
+			return
+		}
+		// Receivers with at least one non-deferred release in this function:
+		// only those locks are tracked; acquire-without-release is a handoff
+		// to the caller, which this intra-procedural check cannot follow.
+		released := make(map[string]bool)
+		for _, b := range g.Blocks {
+			for _, c := range cfgscan.Calls(b) {
+				if n, recv := lockMethod(pass.TypesInfo, c); isRelease(n) && recv != "" {
+					released[recv] = true
+				}
+			}
+		}
+		for _, b := range g.Blocks {
+			for i, call := range cfgscan.Calls(b) {
+				name, recv := lockMethod(pass.TypesInfo, call)
+				if !isAcquire(name) || recv == "" || deferred[recv] || !released[recv] {
+					continue
+				}
+				if dirs.Has(call.Pos(), mgspmatch.CrashLocked) {
+					continue
+				}
+				hit := cfgscan.ReachableAfter(g, cfgscan.Pos{Block: b, Index: i}, func(c *ast.CallExpr) cfgscan.Class {
+					if n, r := lockMethod(pass.TypesInfo, c); isRelease(n) && r == recv {
+						return cfgscan.Stop
+					}
+					if isCrashPoint(c) {
+						return cfgscan.Hit
+					}
+					return cfgscan.Continue
+				})
+				if hit != nil {
+					what := "media op"
+					if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
+						what = fn.Name()
+					}
+					pass.Report(analysis.Diagnostic{
+						Pos: call.Pos(),
+						Message: fmt.Sprintf("%s.%s held across potential crash point %s without a deferred unlock: a crash-injection panic leaks the lock; defer %s.Unlock or wrap the section in a locked closure",
+							recv, name, what, recv),
+					})
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					check(cfgs.FuncDecl(n), deferredUnlocks(pass.TypesInfo, n.Body))
+				}
+			case *ast.FuncLit:
+				check(cfgs.FuncLit(n), deferredUnlocks(pass.TypesInfo, n.Body))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// deferredUnlocks returns the receiver keys released by defer statements of
+// body (directly, or inside an immediately deferred closure), excluding
+// defers of nested function literals that are not themselves the deferred
+// call.
+func deferredUnlocks(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run elsewhere; their defers are theirs
+		case *ast.DeferStmt:
+			if name, recv := lockMethod(info, n.Call); isRelease(name) && recv != "" {
+				out[recv] = true
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { ...; mu.Unlock() }() — releases at exit.
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						if name, recv := lockMethod(info, c); isRelease(name) && recv != "" {
+							out[recv] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// localCrashFuncs computes the set of package-local functions that
+// transitively perform a media op (directly on nvm.Device, or by calling
+// into a ctx-taking function of another non-sim/non-obs package).
+func localCrashFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd.Body
+			}
+		}
+	}
+	crash := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func) // caller -> local callees
+	for fn, body := range bodies {
+		ast.Inspect(body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); mgspmatch.DeviceMediaOps[m] {
+				crash[fn] = true
+				return true
+			}
+			callee := mgspmatch.Callee(pass.TypesInfo, c)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg() == pass.Pkg {
+				calls[fn] = append(calls[fn], callee)
+				return true
+			}
+			p := callee.Pkg().Path()
+			if mgspmatch.PkgPathIs(p, "sim") || mgspmatch.PkgPathIs(p, "obs") {
+				return true
+			}
+			if mgspmatch.HasSimCtxParam(callee) {
+				crash[fn] = true
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if crash[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if crash[c] {
+					crash[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return crash
+}

@@ -1,0 +1,12 @@
+package crashsafelocks_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/crashsafelocks"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), crashsafelocks.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Regression: reconstruction of the mutex-leak shape fixed in the snapshot
+// PR (PR 3). DropSnapshot held fs.snapMu while releasing shadow pages
+// through a package-local helper that issues media ops; a crash-injection
+// panic inside the helper leaked the mutex and deadlocked every later
+// snapshot operation. The analyzer must catch the pre-fix form through the
+// local-helper call (transitive crash-point closure), and accept the
+// post-fix deferred-closure form.
+package a
+
+import (
+	"nvm"
+	"sim"
+)
+
+type snapFS struct {
+	snapMu sim.Mutex
+	dev    *nvm.Device
+	snaps  map[uint64]int64
+}
+
+// releasePages is the noteHighWater-like package-local helper: it touches
+// media directly, so it is a crash point for every caller.
+func (f *snapFS) releasePages(ctx *sim.Ctx, root int64) {
+	f.dev.Store8(ctx, root, 0)
+	f.dev.Fence(ctx)
+}
+
+// dropSnapshotPreFix is the shape as it existed before PR 3's fix.
+func (f *snapFS) dropSnapshotPreFix(ctx *sim.Ctx, id uint64) bool {
+	f.snapMu.Lock(ctx) // want `f\.snapMu\.Lock held across potential crash point releasePages without a deferred unlock`
+	root, ok := f.snaps[id]
+	if !ok {
+		f.snapMu.Unlock(ctx)
+		return false
+	}
+	delete(f.snaps, id)
+	f.releasePages(ctx, root)
+	f.snapMu.Unlock(ctx)
+	return true
+}
+
+// dropSnapshotPostFix is the shape after PR 3's fix: the map surgery happens
+// under a tight deferred-unlock closure, and the media work runs after the
+// lock is released.
+func (f *snapFS) dropSnapshotPostFix(ctx *sim.Ctx, id uint64) bool {
+	root, ok := func() (int64, bool) {
+		f.snapMu.Lock(ctx)
+		defer f.snapMu.Unlock(ctx)
+		r, ok := f.snaps[id]
+		if ok {
+			delete(f.snaps, id)
+		}
+		return r, ok
+	}()
+	if !ok {
+		return false
+	}
+	f.releasePages(ctx, root)
+	return true
+}

@@ -1,0 +1,15 @@
+// Package pm is a minimal stand-in for a sibling package (pmfile/alloc
+// shape): exported operations take *sim.Ctx and issue media ops, so a
+// cross-package ctx-taking call is conservatively a crash point.
+package pm
+
+import "sim"
+
+// File mirrors pmfile.File.
+type File struct{}
+
+// SetSize persists the size word — a media op in the real tree.
+func (f *File) SetSize(ctx *sim.Ctx, size int64) {}
+
+// Slot is ctx-free and volatile: not a crash point.
+func (f *File) Slot() int { return 0 }

@@ -1,0 +1,23 @@
+// Package sim is a minimal stand-in for mgsp/internal/sim: the analyzers
+// match types by (name, package-path suffix), so this fixture exercises the
+// same code paths as the real tree.
+package sim
+
+// Ctx mirrors sim.Ctx.
+type Ctx struct{ ID int }
+
+// Mutex mirrors sim.Mutex: a ctx-charged lock whose Lock/Unlock take the
+// worker context for cost accounting (and are therefore NOT crash points).
+type Mutex struct{}
+
+func (m *Mutex) Lock(ctx *Ctx)         {}
+func (m *Mutex) TryLock(ctx *Ctx) bool { return true }
+func (m *Mutex) Unlock(ctx *Ctx)       {}
+
+// RWMutex mirrors sim.RWMutex.
+type RWMutex struct{}
+
+func (rw *RWMutex) Lock(ctx *Ctx)    {}
+func (rw *RWMutex) Unlock(ctx *Ctx)  {}
+func (rw *RWMutex) RLock(ctx *Ctx)   {}
+func (rw *RWMutex) RUnlock(ctx *Ctx) {}

@@ -1,0 +1,247 @@
+// Package mgspmatch holds the shared type- and call-matching helpers used by
+// the mgspvet analyzers (persistorder, crashsafe-locks, atomicfield,
+// checksum-before-publish), plus the //mgsp: suppression-directive parser.
+//
+// Matching is by (type name, package-path suffix) rather than by exact import
+// path so the analyzers work both on the real tree (mgsp/internal/nvm.Device)
+// and on the self-contained fixture packages under each analyzer's testdata
+// (for example persistorder.example/nvm.Device). The suffix rule is: the path
+// is exactly the element, or ends in "/"+element.
+package mgspmatch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PkgPathIs reports whether path is exactly elem or ends in "/"+elem.
+func PkgPathIs(path, elem string) bool {
+	return path == elem || strings.HasSuffix(path, "/"+elem)
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (or *t) is the named type typeName defined in a
+// package whose path matches pkgElem per PkgPathIs.
+func IsNamed(t types.Type, pkgElem, typeName string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && PkgPathIs(n.Obj().Pkg().Path(), pkgElem)
+}
+
+// Callee returns the static callee of call, or nil for calls through
+// function-valued expressions, interface methods included (those DO resolve
+// to the interface's *types.Func).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// MethodOn returns the method name if call invokes a method (by value or
+// pointer) on the named type typeName from a package matching pkgElem; it
+// returns "" otherwise.
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgElem, typeName string) string {
+	fn := Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if !IsNamed(sig.Recv().Type(), pkgElem, typeName) {
+		return ""
+	}
+	return fn.Name()
+}
+
+// DeviceMediaOps is the set of nvm.Device methods that touch the media and
+// therefore hit crash-injection fail points under crashtest.
+var DeviceMediaOps = map[string]bool{
+	"Read": true, "Write": true, "WriteNT": true, "Flush": true,
+	"Fence": true, "Persist": true, "Store8": true, "CAS8": true,
+}
+
+// DeviceBarriers is the subset of Device methods that act as persist
+// barriers: Fence orders prior WriteNT stores; Flush/Persist write back
+// cached lines (Persist = Flush + Fence).
+var DeviceBarriers = map[string]bool{"Flush": true, "Fence": true, "Persist": true}
+
+// DeviceMethod returns the method name if call is a method call on
+// nvm.Device (package-path suffix "nvm", type Device), else "".
+func DeviceMethod(info *types.Info, call *ast.CallExpr) string {
+	return MethodOn(info, call, "nvm", "Device")
+}
+
+// HasSimCtxParam reports whether fn takes a parameter of type *sim.Ctx
+// (package-path suffix "sim", type Ctx). In this codebase every operation
+// that can issue media ops — and therefore panic at a crash-injection fail
+// point — is threaded through a *sim.Ctx for cost accounting, so a
+// ctx-taking callee in another package is conservatively a crash point.
+func HasSimCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if IsNamed(sig.Params().At(i).Type(), "sim", "Ctx") {
+			return true
+		}
+	}
+	return false
+}
+
+// ExprKey returns a stable identity string for a receiver expression, used
+// to pair Lock/Unlock calls on the same lock ("fs.mu", "d.mu", ...).
+// Selector chains and plain identifiers resolve structurally; anything more
+// exotic (index expressions, calls) returns "" and is not tracked.
+func ExprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := ExprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return ExprKey(x.X)
+	}
+	return ""
+}
+
+// RecvKey returns the lock-identity key of a method call's receiver, or "".
+func RecvKey(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return ExprKey(sel.X)
+}
+
+// ---- //mgsp: directives ----
+
+// Directive names understood by the analyzers. Each suppresses one analyzer
+// at one annotated line and should carry a one-line justification:
+//
+//	//mgsp:deferred-persist <why the barrier lives elsewhere>
+//	//mgsp:crash-locked <why the lock cannot leak>
+//	//mgsp:unchecksummed-publish <why this store needs no checksum>
+//	//mgsp:unaligned-ok <why 32-bit alignment does not apply>
+//	//mgsp:atomic-copy-ok <why this value copy is race-free>
+const (
+	DeferredPersist      = "deferred-persist"
+	CrashLocked          = "crash-locked"
+	UnchecksummedPublish = "unchecksummed-publish"
+	UnalignedOK          = "unaligned-ok"
+	AtomicCopyOK         = "atomic-copy-ok"
+)
+
+const prefix = "//mgsp:"
+
+// Directives records, per file line, the //mgsp: directive names present
+// there. A directive governs the line it is written on; a directive comment
+// that has a line to itself additionally governs the line below it, and a
+// directive in a function's doc comment governs the whole function.
+type Directives struct {
+	fset  *token.FileSet
+	lines map[token.Position]map[string]bool // Filename+Line only
+	funcs []funcSpan
+}
+
+type funcSpan struct {
+	pos, end token.Pos
+	names    map[string]bool
+}
+
+func key(p token.Position) token.Position { return token.Position{Filename: p.Filename, Line: p.Line} }
+
+// ParseDirectives scans the files' comments for //mgsp: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, lines: make(map[token.Position]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				p := key(fset.Position(c.Pos()))
+				if d.lines[p] == nil {
+					d.lines[p] = make(map[string]bool)
+				}
+				d.lines[p][name] = true
+				// A standalone directive line also governs the next line.
+				if fset.Position(cg.Pos()).Line == p.Line {
+					next := p
+					next.Line++
+					if d.lines[next] == nil {
+						d.lines[next] = make(map[string]bool)
+					}
+					d.lines[next][name] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, prefix) {
+					rest := strings.TrimPrefix(c.Text, prefix)
+					name := rest
+					if i := strings.IndexAny(rest, " \t"); i >= 0 {
+						name = rest[:i]
+					}
+					names[name] = true
+				}
+			}
+			if len(names) > 0 {
+				d.funcs = append(d.funcs, funcSpan{fd.Pos(), fd.End(), names})
+			}
+		}
+	}
+	return d
+}
+
+// Has reports whether directive name governs pos.
+func (d *Directives) Has(pos token.Pos, name string) bool {
+	if names, ok := d.lines[key(d.fset.Position(pos))]; ok && names[name] {
+		return true
+	}
+	for _, fs := range d.funcs {
+		if fs.pos <= pos && pos < fs.end && fs.names[name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+// Package persistorder defines an analyzer enforcing the paper's media-op
+// discipline (PAPER.md §III): shadow data written with nvm.Device.Write or
+// WriteNT must be made durable — Flush/Persist for cached Write, any of
+// Flush/Persist/Fence for non-temporal WriteNT — before the enclosing
+// function reaches a metadata-log append or commit store that publishes it.
+// A torn ordering here is exactly the bug class a crash between the commit
+// entry and its data exposes: recovery replays a commit whose data never
+// persisted.
+//
+// The check is intra-procedural over the control-flow graph. Commit sinks
+// are Device.Store8/Device.CAS8 (8-byte publish stores) and any call whose
+// callee name begins with "commit" (metaLog.commit, commitSnap,
+// commitSnapshotMark, file.commitChanges, ...). Multi-function commit paths
+// whose barrier legitimately lives in a caller are annotated
+// //mgsp:deferred-persist with a one-line justification.
+package persistorder
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"mgsp/internal/analysis/cfgscan"
+	"mgsp/internal/analysis/mgspmatch"
+)
+
+const doc = `check that nvm writes are flushed/fenced before a reachable metadata-log commit
+
+Flags nvm.Device.Write/WriteNT calls whose enclosing function can reach a
+commit sink (Device.Store8/CAS8 or a commit* call) without an intervening
+persist barrier (Flush/Persist; Fence also suffices for WriteNT). Suppress
+with //mgsp:deferred-persist <justification> when the barrier is in a caller.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "persistorder",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") {
+		// The device implementation itself sits below the discipline.
+		return nil, nil
+	}
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+
+	check := func(g *cfg.CFG) {
+		if g == nil {
+			return
+		}
+		for _, b := range g.Blocks {
+			for i, call := range cfgscan.Calls(b) {
+				write := mgspmatch.DeviceMethod(pass.TypesInfo, call)
+				if write != "Write" && write != "WriteNT" {
+					continue
+				}
+				if dirs.Has(call.Pos(), mgspmatch.DeferredPersist) {
+					continue
+				}
+				hit := cfgscan.ReachableAfter(g, cfgscan.Pos{Block: b, Index: i}, func(c *ast.CallExpr) cfgscan.Class {
+					if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); m != "" {
+						switch {
+						case m == "Flush" || m == "Persist":
+							return cfgscan.Stop
+						case m == "Fence":
+							// An sfence orders non-temporal stores but does
+							// not write back a cached Write.
+							if write == "WriteNT" {
+								return cfgscan.Stop
+							}
+							return cfgscan.Continue
+						case m == "Store8" || m == "CAS8":
+							return cfgscan.Hit
+						}
+						return cfgscan.Continue
+					}
+					if fn := mgspmatch.Callee(pass.TypesInfo, c); fn != nil &&
+						strings.HasPrefix(strings.ToLower(fn.Name()), "commit") {
+						return cfgscan.Hit
+					}
+					return cfgscan.Continue
+				})
+				if hit != nil {
+					sink := "commit store"
+					if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
+						sink = fn.Name()
+					}
+					pass.Report(analysis.Diagnostic{
+						Pos: call.Pos(),
+						Message: fmt.Sprintf("nvm %s may reach commit sink %s without an intervening persist barrier (Flush/Persist%s); add the barrier or annotate //mgsp:deferred-persist with a justification",
+							write, sink, fenceHint(write)),
+					})
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					check(cfgs.FuncDecl(n))
+				}
+			case *ast.FuncLit:
+				check(cfgs.FuncLit(n))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func fenceHint(write string) string {
+	if write == "WriteNT" {
+		return "/Fence"
+	}
+	return ""
+}

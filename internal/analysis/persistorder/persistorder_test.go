@@ -1,0 +1,12 @@
+package persistorder_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/persistorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), persistorder.Analyzer, "a")
+}

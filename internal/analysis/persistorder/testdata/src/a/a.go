@@ -1,0 +1,89 @@
+// Package a holds the persistorder golden cases: nvm writes that reach a
+// commit sink (Store8/CAS8 or a commit* call) with and without an
+// intervening persist barrier.
+package a
+
+import (
+	"nvm"
+	"sim"
+)
+
+type metaLog struct{ dev *nvm.Device }
+
+func (m *metaLog) commit(ctx *sim.Ctx) {
+	var buf [64]byte
+	m.dev.WriteNT(ctx, buf[:], 0) // the entry write IS the append; no sink follows
+	m.dev.Fence(ctx)
+}
+
+// badStorePublish: non-temporal data write reaches the tag publish with no
+// fence — a crash between them commits metadata whose data never persisted.
+func badStorePublish(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 128) // want `nvm WriteNT may reach commit sink Store8 without an intervening persist barrier`
+	dev.Store8(ctx, 0, 1)
+}
+
+// badCachedWriteFenceOnly: Fence orders non-temporal stores but does not
+// write back a cached Write; only Flush/Persist make it durable.
+func badCachedWriteFenceOnly(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.Write(ctx, data, 128) // want `nvm Write may reach commit sink Store8 without an intervening persist barrier`
+	dev.Fence(ctx)
+	dev.Store8(ctx, 0, 1)
+}
+
+// badCommitCall: the sink can also be a commit* call (metadata-log append).
+func badCommitCall(ctx *sim.Ctx, dev *nvm.Device, m *metaLog, data []byte) {
+	dev.WriteNT(ctx, data, 128) // want `nvm WriteNT may reach commit sink commit without an intervening persist barrier`
+	m.commit(ctx)
+}
+
+// badBranchSkipsFence: one path reaches the publish without the barrier.
+func badBranchSkipsFence(ctx *sim.Ctx, dev *nvm.Device, data []byte, full bool) {
+	dev.WriteNT(ctx, data, 128) // want `nvm WriteNT may reach commit sink Store8 without an intervening persist barrier`
+	if full {
+		dev.Fence(ctx)
+	}
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodFencedStore: WriteNT-Fence-Store8 is the directory.create shape.
+func goodFencedStore(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 128)
+	dev.Fence(ctx)
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodFlushedWrite: cached writes persist via Flush (or Persist).
+func goodFlushedWrite(ctx *sim.Ctx, dev *nvm.Device, m *metaLog, data []byte) {
+	dev.Write(ctx, data, 128)
+	dev.Flush(ctx, 128, len(data))
+	dev.Fence(ctx)
+	m.commit(ctx)
+}
+
+// goodPersist: Persist = Flush + Fence.
+func goodPersist(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.Write(ctx, data, 128)
+	dev.Persist(ctx, 128, len(data))
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodNoSink: a write whose function never reaches a commit is the
+// shadow-data phase; the barrier lives in the caller.
+func goodNoSink(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 128)
+}
+
+// goodAnnotated: multi-function commit path, barrier in the caller.
+func goodAnnotated(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 128) //mgsp:deferred-persist caller fences before its commit
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodAnnotatedFuncDoc: the escape hatch also works on the function doc.
+//
+//mgsp:deferred-persist whole function is a deferred-persist commit helper
+func goodAnnotatedFuncDoc(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 128)
+	dev.Store8(ctx, 0, 1)
+}

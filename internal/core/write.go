@@ -110,13 +110,17 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	f.commitChanges(ctx, entry, off, int64(len(p)), newSize, changes)
 
 	// Publish the new size (also recorded in the entry for recovery).
+	// Deferred unlock: SetSize persists the size word (a media op), and a
+	// crash-injection panic there must not leak sizeMu to other workers.
 	if end > f.size.Load() {
-		f.sizeMu.Lock(ctx)
-		if end > f.size.Load() {
-			f.size.Store(end)
-			f.pf.SetSize(ctx, end)
-		}
-		f.sizeMu.Unlock(ctx)
+		func() {
+			f.sizeMu.Lock(ctx)
+			defer f.sizeMu.Unlock(ctx)
+			if end > f.size.Load() {
+				f.size.Store(end)
+				f.pf.SetSize(ctx, end)
+			}
+		}()
 	}
 
 	fs.mlog.retire(ctx, entry)

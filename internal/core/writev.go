@@ -147,13 +147,17 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	}
 	f.commitChanges(ctx, entry, lo, maxEnd-lo, newSize, changes)
 
+	// Deferred unlock: SetSize persists the size word (a media op), and a
+	// crash-injection panic there must not leak sizeMu to other workers.
 	if maxEnd > f.size.Load() {
-		f.sizeMu.Lock(ctx)
-		if maxEnd > f.size.Load() {
-			f.size.Store(maxEnd)
-			f.pf.SetSize(ctx, maxEnd)
-		}
-		f.sizeMu.Unlock(ctx)
+		func() {
+			f.sizeMu.Lock(ctx)
+			defer f.sizeMu.Unlock(ctx)
+			if maxEnd > f.size.Load() {
+				f.size.Store(maxEnd)
+				f.pf.SetSize(ctx, maxEnd)
+			}
+		}()
 	}
 	fs.mlog.retire(ctx, entry)
 	f.updateMinSearch(lo, maxEnd)
