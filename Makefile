@@ -7,9 +7,9 @@ FUZZTIME ?= 15s
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: ci vet mgspvet lint lint-tools build test race torture fuzz bench cover bench-json bench-smoke
+.PHONY: ci vet mgspvet lint lint-tools build test race torture fuzz bench cover bench-json bench-smoke serve-smoke
 
-ci: vet build test race ## everything CI runs
+ci: vet build test race serve-smoke ## everything CI runs
 
 # Static analysis gate: stock go vet plus the project's own analyzers
 # (persistorder, crashsafe-locks, atomicfield, checksumpub) run through the
@@ -65,6 +65,12 @@ race: vet bench-smoke
 bench-smoke:
 	$(GO) run ./cmd/mgspbench -exp all -scale smoke -json BENCH_smoke.json >/dev/null
 	$(GO) run ./cmd/mgspstat -validate BENCH_smoke.json
+
+# End-to-end smoke of the mgspd server path: real process, real TCP, KV +
+# ingest workloads through the protocol, live obs fetch, SIGTERM drain, and
+# an fsck of the image the shutdown saved. See scripts/serve_smoke.sh.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # The instrumented core experiment at quick scale, emitting the full obs
 # payload (throughput, latency quantiles, WA ratio, contention counters).

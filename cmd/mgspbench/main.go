@@ -30,13 +30,14 @@ import (
 	"mgsp/internal/sqlite"
 )
 
-var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core"}
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core", "kv", "ingest"}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick | full | smoke")
 	jsonPath := flag.String("json", "", "also write a mgsp-bench/v1 JSON report to this path")
 	listen := flag.String("listen", "", "after the runs, serve obs metrics on this address (e.g. :8080)")
+	serverAddr := flag.String("server", "", "drive the kv/ingest experiments against this live mgspd address instead of in-process")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -134,6 +135,8 @@ func main() {
 	run("snapshot", func() ([]*bench.Table, error) { return one(bench.Snapshot(sc)) })
 	run("ext-atomic", func() ([]*bench.Table, error) { return one(bench.ExtAtomic(sc)) })
 	run("torture", func() ([]*bench.Table, error) { return one(bench.Torture(sc)) })
+	run("kv", func() ([]*bench.Table, error) { return one(bench.KV(sc, *serverAddr)) })
+	run("ingest", func() ([]*bench.Table, error) { return one(bench.Ingest(sc, *serverAddr)) })
 	run("core", func() ([]*bench.Table, error) {
 		t, m, h, err := bench.Core(sc)
 		if err != nil {

@@ -7,6 +7,9 @@
 //	mgspstat -diff before.json after.json
 //	                                   print the delta between two snapshots
 //	mgspstat -url http://host:8080     fetch and print a live snapshot
+//	mgspstat -url http://host:8080 -validate
+//	                                   fetch and schema-check it (mgspd's
+//	                                   obs port; serve-smoke gates on this)
 //	mgspstat -img crash.img            mount the image and print the obs
 //	                                   registry after recovery (mount timing,
 //	                                   entries replayed, recovery trace)
@@ -45,6 +48,19 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *url != "":
+		if flag.NArg() != 0 {
+			usage("-url takes no positional arguments")
+		}
+		data, err := fetch(strings.TrimRight(*url, "/") + "/metrics.json")
+		if err != nil {
+			fail(err)
+		}
+		if *validate {
+			validateLive(*url, data)
+			return
+		}
+		printSnapshot(parse(data), *prom)
 	case *validate:
 		if flag.NArg() != 1 {
 			usage("-validate takes exactly one report file")
@@ -55,15 +71,6 @@ func main() {
 			usage("-img takes no positional arguments")
 		}
 		fromImage(*img, *degree, *subBits, *prom)
-	case *url != "":
-		if flag.NArg() != 0 {
-			usage("-url takes no positional arguments")
-		}
-		data, err := fetch(strings.TrimRight(*url, "/") + "/metrics.json")
-		if err != nil {
-			fail(err)
-		}
-		printSnapshot(parse(data), *prom)
 	case *diff:
 		if flag.NArg() != 2 {
 			usage("-diff takes exactly two snapshot files")
@@ -119,6 +126,21 @@ func fromImage(path string, degree, subBits int, prom bool) {
 			fail(err)
 		}
 	}
+}
+
+// validateLive schema-checks a fetched /metrics.json body (mgsp-obs/v1) and
+// prints a one-line summary. This is the serve-smoke gate: a live mgspd must
+// serve a parseable snapshot that actually contains server counters.
+func validateLive(url string, data []byte) {
+	s, err := obs.ParseSnapshot(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", url, err))
+	}
+	if len(s.Values) == 0 {
+		fail(fmt.Errorf("%s: valid %s snapshot but no values", url, s.Schema))
+	}
+	fmt.Printf("%s: valid %s snapshot (%d values, %d histograms)\n",
+		url, s.Schema, len(s.Values), len(s.Hists))
 }
 
 // validateReport checks a mgspbench -json artifact against the bench schema

@@ -1,0 +1,24 @@
+// Package core is a minimal stand-in for mgsp/internal/core's handle
+// surface as the server sees it: ctx-taking cross-package calls, which the
+// analyzer conservatively treats as crash points (they reach media).
+package core
+
+import "sim"
+
+// Update mirrors core.Update.
+type Update struct {
+	Off  int64
+	Data []byte
+}
+
+// File mirrors the core handle's multi-range write surface.
+type File struct{}
+
+func (f *File) WriteMulti(ctx *sim.Ctx, ups []Update) error { return nil }
+func (f *File) Close(ctx *sim.Ctx) error                    { return nil }
+
+// FS mirrors the namespace surface.
+type FS struct{}
+
+func (fs *FS) Open(ctx *sim.Ctx, name string) (*File, error)   { return nil, nil }
+func (fs *FS) Create(ctx *sim.Ctx, name string) (*File, error) { return nil, nil }

@@ -1,0 +1,51 @@
+// Package srv reconstructs the server's group-commit publish shape for the
+// persistorder golden corpus: a drained batch's payloads land as
+// non-temporal writes, then one commit word publishes the whole batch. A
+// missing barrier lets the publish reach media before the payloads — after
+// a crash, recovery replays a batch whose data never persisted, which is
+// exactly the half-applied group commit the torture oracle hunts.
+package srv
+
+import (
+	"nvm"
+	"sim"
+)
+
+type batcher struct{ dev *nvm.Device }
+
+// commitBatch publishes the batch's commit word; name-matched as a sink.
+func (b *batcher) commitBatch(ctx *sim.Ctx) {
+	b.dev.Store8(ctx, 0, 1)
+}
+
+// badGroupCommitPublish: payload write reaches the batch publish with no
+// fence in between.
+func (b *batcher) badGroupCommitPublish(ctx *sim.Ctx, payload []byte) {
+	b.dev.WriteNT(ctx, payload, 4096) // want `nvm WriteNT may reach commit sink commitBatch without an intervening persist barrier`
+	b.commitBatch(ctx)
+}
+
+// badCoalescedOps: every coalesced op's payload must be ordered before the
+// single group publish; each unfenced write is flagged.
+func (b *batcher) badCoalescedOps(ctx *sim.Ctx, a, c []byte) {
+	b.dev.WriteNT(ctx, a, 4096) // want `nvm WriteNT may reach commit sink commitBatch without an intervening persist barrier`
+	b.dev.WriteNT(ctx, c, 8192) // want `nvm WriteNT may reach commit sink commitBatch without an intervening persist barrier`
+	b.commitBatch(ctx)
+}
+
+// goodGroupCommitPublish: one fence after the whole drained batch is the
+// group-commit amortization — N payload writes, one barrier, one publish.
+func (b *batcher) goodGroupCommitPublish(ctx *sim.Ctx, a, c []byte) {
+	b.dev.WriteNT(ctx, a, 4096)
+	b.dev.WriteNT(ctx, c, 8192)
+	b.dev.Fence(ctx)
+	b.commitBatch(ctx)
+}
+
+// goodCachedBatch: cached writes need the write-back flush, not just the
+// fence, before the publish.
+func (b *batcher) goodCachedBatch(ctx *sim.Ctx, a []byte) {
+	b.dev.Write(ctx, a, 4096)
+	b.dev.Persist(ctx, 4096, len(a))
+	b.commitBatch(ctx)
+}

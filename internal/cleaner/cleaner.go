@@ -31,6 +31,12 @@ type PassResult struct {
 	// Wrapped is true when the pass covered the whole namespace (no budget
 	// cut-off), making a checkpoint meaningful.
 	Wrapped bool
+	// LogBlocksAfter is the number of live shadow-log blocks left on the
+	// device when the pass finished — the blocks the cleaner has not (yet)
+	// reclaimed, whether hot, contended, or over budget. It is the cleaner's
+	// lag signal: a value that keeps rising across passes means foreground
+	// writes are outrunning reclamation.
+	LogBlocksAfter int64
 }
 
 // Target is the file system the cleaner drives (implemented by core.FS).
@@ -74,6 +80,7 @@ type Cleaner struct {
 	reclaimed   atomic.Int64
 	contended   atomic.Int64
 	checkpoints atomic.Int64
+	lagBlocks   atomic.Int64 // LogBlocksAfter of the most recent pass
 }
 
 // New builds a cleaner over target; ctx is the cleaner's private context
@@ -124,6 +131,7 @@ func (c *Cleaner) run(now int64) {
 	c.passes.Add(1)
 	c.reclaimed.Add(res.BlocksReclaimed)
 	c.contended.Add(int64(res.Contended))
+	c.lagBlocks.Store(res.LogBlocksAfter)
 	if res.Wrapped && c.target.Checkpoint(c.ctx) {
 		c.checkpoints.Add(1)
 	}
@@ -178,7 +186,15 @@ func (c *Cleaner) Register(r *obs.Registry, prefix string) {
 	r.RegisterFunc(prefix+"interval_ns", func() float64 { return float64(c.interval.Load()) })
 	r.RegisterFunc(prefix+"contended", func() float64 { return float64(c.contended.Load()) })
 	r.RegisterFunc(prefix+"media_write_bytes", func() float64 { return float64(c.MediaWriteBytes()) })
+	r.RegisterFunc(prefix+"lag_blocks", func() float64 { return float64(c.LagBlocks()) })
 }
+
+// LagBlocks returns the live shadow-log blocks left behind by the most
+// recent cleaning pass (0 before the first pass completes). This is the
+// number the server's admission control compares against its high-water
+// thresholds, and the same number `mgspstat` reads as cleaner.lag_blocks —
+// one source of truth for "how far behind is the cleaner".
+func (c *Cleaner) LagBlocks() int64 { return c.lagBlocks.Load() }
 
 // Interval returns the current (possibly backed-off) pass interval.
 func (c *Cleaner) Interval() int64 { return c.interval.Load() }

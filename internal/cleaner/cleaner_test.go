@@ -3,6 +3,7 @@ package cleaner
 import (
 	"testing"
 
+	"mgsp/internal/obs"
 	"mgsp/internal/sim"
 )
 
@@ -154,5 +155,45 @@ func TestMediaWriteBytesWithoutTally(t *testing.T) {
 	c.Ctx().Tally.WriteBytes.Add(123)
 	if c.MediaWriteBytes() != 123 {
 		t.Fatal("tally not read")
+	}
+}
+
+// TestLagBlocksTracksLatestPass pins the LagBlocks contract: zero before any
+// pass has completed, then exactly the LogBlocksAfter of the most recent
+// pass — a last-value gauge, not a running delta — and the registered
+// cleaner.lag_blocks metric reads the same number.
+func TestLagBlocksTracksLatestPass(t *testing.T) {
+	tg := &fakeTarget{
+		ckptOK: true,
+		results: []PassResult{
+			{Wrapped: true, LogBlocksAfter: 120, BlocksReclaimed: 30},
+			{Wrapped: true, LogBlocksAfter: 85, BlocksReclaimed: 35},
+			{Wrapped: true, LogBlocksAfter: 0},
+		},
+	}
+	c := newTestCleaner(tg, Config{Interval: 10})
+	if got := c.LagBlocks(); got != 0 {
+		t.Fatalf("LagBlocks before any pass = %d, want 0", got)
+	}
+	r := obs.NewRegistry()
+	c.Register(r, "cleaner.")
+
+	c.Force(10)
+	if got := c.LagBlocks(); got != 120 {
+		t.Fatalf("LagBlocks after pass 1 = %d, want 120", got)
+	}
+	if got := r.Snapshot().Values["cleaner.lag_blocks"]; got != 120 {
+		t.Fatalf("cleaner.lag_blocks = %g, want 120 (gauge must read the same number)", got)
+	}
+
+	c.Force(c.Ctx().Now() + 10)
+	if got := c.LagBlocks(); got != 85 {
+		t.Fatalf("LagBlocks after pass 2 = %d, want 85 (latest pass, not a sum)", got)
+	}
+
+	// A pass that drains the log entirely drops the gauge back to zero.
+	c.Force(c.Ctx().Now() + 10)
+	if got := c.LagBlocks(); got != 0 {
+		t.Fatalf("LagBlocks after drained pass = %d, want 0", got)
 	}
 }

@@ -24,13 +24,12 @@ func (fs *FS) Cleaner() *cleaner.Cleaner { return fs.cleaner }
 
 // LogBlocks returns the 4 KiB device blocks currently held by shadow logs:
 // allocator usage minus the blocks backing the files themselves. This is the
-// quantity the cleaner bounds on sustained-overwrite workloads.
+// quantity the cleaner bounds on sustained-overwrite workloads, and the
+// high-water signal the server's admission control throttles on. Both inputs
+// are atomics, so it is safe from any goroutine — including concurrently
+// with Create (the old Files() iteration was not).
 func (fs *FS) LogBlocks() int64 {
-	used := fs.prov.Alloc().UsedBlocks()
-	for _, pf := range fs.prov.Files() {
-		used -= pf.Capacity() / pmfile.PageSize
-	}
-	return used
+	return fs.prov.Alloc().UsedBlocks() - fs.prov.BackingPages()
 }
 
 // opExit leaves an operation's in-flight window and donates this goroutine
@@ -121,6 +120,7 @@ func (fs *FS) CleanPass(ctx *sim.Ctx, budget int64) cleaner.PassResult {
 		fs.cleanOff = 0
 	}
 	res.Wrapped = wrapped
+	res.LogBlocksAfter = fs.LogBlocks()
 	fs.stats.CleanerPasses.Add(1)
 	fs.stats.BlocksReclaimed.Add(res.BlocksReclaimed)
 	dur := ctx.Now() - began

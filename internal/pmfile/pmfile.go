@@ -53,6 +53,12 @@ type Provider struct {
 	mu    sim.Mutex
 	files map[string]*File
 	slots []bool
+
+	// backing counts the pages currently backing files (the sum of their
+	// capacities). Kept as an atomic so lock-free readers — the cleaner's
+	// lag computation, the server's admission control — can subtract it
+	// from allocator usage without racing the files map.
+	backing atomic.Int64
 }
 
 // New formats a provider over the device, reserving metaBytes of
@@ -154,10 +160,16 @@ func (p *Provider) Remove(ctx *sim.Ctx, name string) error {
 	for _, e := range f.extentList() {
 		p.alloc.Free(ctx, e.phys, e.pages)
 	}
+	p.backing.Add(-f.capacity.Load() / PageSize)
 	f.extents.Store(nil)
 	f.capacity.Store(0)
 	return nil
 }
+
+// BackingPages returns the pages currently backing files (sum of their
+// capacities). Lock-free, so it is safe from any goroutine concurrently
+// with Create/Remove/EnsureCapacity — unlike iterating Files().
+func (p *Provider) BackingPages() int64 { return p.backing.Load() }
 
 // Files returns the live files by name (for recovery passes).
 func (p *Provider) Files() map[string]*File { return p.files }
@@ -293,6 +305,7 @@ func (f *File) EnsureCapacity(ctx *sim.Ctx, n int64) error {
 		next[len(exts)] = extent{phys: phys, pages: pages}
 		f.extents.Store(&next) // publish the extent list before the capacity
 		f.capacity.Add(pages * PageSize)
+		f.p.backing.Add(pages)
 		f.persistSlot(ctx)
 	}
 	return nil

@@ -52,6 +52,7 @@ func Recover(ctx *sim.Ctx, dev *nvm.Device, metaBytes int64) (*Provider, error) 
 				return nil, fmt.Errorf("pmfile: slot %d: %w", i, err)
 			}
 			f.capacity.Add(exts[j].pages * PageSize)
+			p.backing.Add(exts[j].pages)
 		}
 		f.extents.Store(&exts)
 		// Pages within the persisted size were (conservatively) stored to;

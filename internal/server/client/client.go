@@ -1,0 +1,281 @@
+// Package client is the Go client for mgspd. One Client multiplexes any
+// number of concurrent requests over a single connection: callers block on
+// their own response while a background reader demultiplexes frames by
+// request id, so sixteen goroutines hammering WriteAt through one Client is
+// exactly the traffic shape the server's group-commit batcher coalesces.
+//
+// The client is deliberately ignorant of simulated time — virtual-time
+// accounting happens server-side, where the device lives. That keeps this
+// package usable from ordinary wall-clock programs (benches, examples,
+// future real applications).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mgsp/internal/server"
+)
+
+// Client is a connection to mgspd bound to one tenant. Safe for concurrent
+// use by multiple goroutines.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint32]chan respMsg
+	seq     uint32
+	err     error // set once the reader dies; fails all future requests
+}
+
+type respMsg struct {
+	status byte
+	body   []byte
+}
+
+// Dial connects to a server address and binds the connection to tenant.
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(conn, tenant)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// New builds a Client over an existing connection (net.Pipe in tests and
+// in-process benches) and performs the HELLO handshake for tenant.
+func New(conn net.Conn, tenant string) (*Client, error) {
+	if len(tenant) == 0 || len(tenant) > server.MaxName {
+		return nil, fmt.Errorf("client: tenant name length %d out of range", len(tenant))
+	}
+	c := &Client{conn: conn, pending: make(map[uint32]chan respMsg)}
+	go c.readLoop()
+	body := append([]byte{byte(len(tenant))}, tenant...)
+	if _, err := c.call(server.OpHello, body); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errors.New("client: closed"))
+	return err
+}
+
+// readLoop demultiplexes response frames to their waiting callers.
+func (c *Client) readLoop() {
+	for {
+		p, err := server.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		_, id, status, body, err := server.ParseResponseHeader(p)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- respMsg{status: status, body: body}
+		}
+	}
+}
+
+// fail poisons the client and unblocks every waiter.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.pmu.Unlock()
+}
+
+// call sends one request and blocks for its response body.
+func (c *Client) call(op byte, body []byte) ([]byte, error) {
+	ch := make(chan respMsg, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.seq++
+	id := c.seq
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	frame := server.AppendRequestHeader(make([]byte, 0, 5+len(body)), op, id)
+	frame = append(frame, body...)
+	c.wmu.Lock()
+	err := server.WriteFrame(c.conn, frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, err
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.err
+		c.pmu.Unlock()
+		return nil, err
+	}
+	return r.body, decodeStatus(r.status, r.body)
+}
+
+func decodeStatus(status byte, body []byte) error {
+	if status == server.StatusOK {
+		return nil
+	}
+	if err, ok := server.StatusErrors[status]; ok {
+		return err
+	}
+	return fmt.Errorf("mgspd: %s", string(body))
+}
+
+// Stat fetches the server's merged obs snapshot as mgsp-obs/v1 JSON.
+func (c *Client) Stat() ([]byte, error) {
+	return c.call(server.OpStat, nil)
+}
+
+// File is a remote file handle. Its methods mirror vfs.File minus the
+// sim.Ctx (server-side), and are safe for concurrent use.
+type File struct {
+	c      *Client
+	handle uint32
+	size   int64 // size at open; the server is authoritative after writes
+}
+
+// Open opens (or with create, creates) tenant-namespaced file name.
+func (c *Client) Open(name string, create bool) (*File, error) {
+	if len(name) == 0 || len(name) > server.MaxName {
+		return nil, fmt.Errorf("client: file name length %d out of range", len(name))
+	}
+	var flags byte
+	if create {
+		flags = server.OpenCreate
+	}
+	body := append([]byte{flags, byte(len(name))}, name...)
+	resp, err := c.call(server.OpOpen, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 12 {
+		return nil, fmt.Errorf("client: short OPEN response (%d bytes)", len(resp))
+	}
+	return &File{
+		c:      c,
+		handle: le32(resp[0:4]),
+		size:   int64(le64(resp[4:12])),
+	}, nil
+}
+
+// ReadAt reads len(p) bytes at off. Short reads at EOF return n < len(p)
+// with no error, matching vfs.File.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > server.MaxData {
+		return 0, fmt.Errorf("client: read of %d bytes exceeds MaxData", len(p))
+	}
+	body := make([]byte, 0, 16)
+	body = appendU32(body, f.handle)
+	body = appendU64(body, uint64(off))
+	body = appendU32(body, uint32(len(p)))
+	resp, err := f.c.call(server.OpRead, body)
+	if err != nil {
+		return 0, err
+	}
+	return copy(p, resp), nil
+}
+
+// WriteAt writes p at off, failure-atomically; it returns only after the
+// server has made the write durable (possibly as part of a group commit).
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) > server.MaxData {
+		return 0, fmt.Errorf("client: write of %d bytes exceeds MaxData", len(p))
+	}
+	body := make([]byte, 0, 12+len(p))
+	body = appendU32(body, f.handle)
+	body = appendU64(body, uint64(off))
+	body = append(body, p...)
+	if _, err := f.c.call(server.OpWrite, body); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Fsync is a persistence fence. MGSP writes are durable at ack, so this is
+// a round-trip no-op kept for POSIX-shaped callers.
+func (f *File) Fsync() error {
+	_, err := f.c.call(server.OpFsync, appendU32(nil, f.handle))
+	return err
+}
+
+// Snapshot freezes the file's current image and returns its id.
+func (f *File) Snapshot() (uint64, error) {
+	resp, err := f.c.call(server.OpSnapshot, appendU32(nil, f.handle))
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 8 {
+		return 0, fmt.Errorf("client: short SNAPSHOT response (%d bytes)", len(resp))
+	}
+	return le64(resp), nil
+}
+
+// DropSnapshot drops a snapshot taken on this file.
+func (f *File) DropSnapshot(id uint64) error {
+	body := appendU32(make([]byte, 0, 12), f.handle)
+	body = appendU64(body, id)
+	_, err := f.c.call(server.OpDrop, body)
+	return err
+}
+
+// Size returns the size observed at open time (remote writes by others are
+// not reflected; use ReadAt's short-read behavior to probe the live size).
+func (f *File) Size() int64 { return f.size }
+
+// Close releases the server-side handle.
+func (f *File) Close() error {
+	_, err := f.c.call(server.OpClose, appendU32(nil, f.handle))
+	return err
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

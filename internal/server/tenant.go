@@ -1,0 +1,138 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mgsp/internal/obs"
+)
+
+// Quota bounds one tenant's footprint. Zero fields are unlimited.
+type Quota struct {
+	// MaxBytes caps the summed sizes of the tenant's files. Enforced at
+	// write admission against the growth the write implies; accounting is
+	// advisory (concurrent extenders of the same region can briefly
+	// double-count), which errs toward admitting — a quota is a budget, not
+	// a security boundary.
+	MaxBytes int64
+	// MaxFiles caps concurrently open handles across the tenant's conns.
+	MaxFiles int64
+	// MaxInFlight caps the tenant's requests being served at once; the
+	// excess gets StatusQuota immediately rather than queueing.
+	MaxInFlight int64
+}
+
+// tenant is the server-side accounting record for one tenant name. All
+// fields are atomics: quota checks happen on every request.
+type tenant struct {
+	name  string
+	quota Quota
+
+	bytes    atomic.Int64 // summed file sizes (see Quota.MaxBytes)
+	files    atomic.Int64 // open handles
+	inflight atomic.Int64 // requests being served
+
+	ops          *obs.Counter // requests served (any opcode)
+	writesAcked  *obs.Counter
+	bytesWritten *obs.Counter
+	bytesRead    *obs.Counter
+	shed         *obs.Counter // writes refused: backpressure
+	rejected     *obs.Counter // requests refused: quota
+}
+
+// tenantSet is the tenant registry. When quotas is non-nil the tenant list
+// is closed (HELLO for an unlisted name fails); otherwise tenants enroll on
+// first HELLO with the default quota.
+type tenantSet struct {
+	mu      sync.Mutex
+	byName  map[string]*tenant
+	quotas  map[string]Quota // nil = open enrollment
+	defq    Quota
+	reg     *obs.Registry
+	created *obs.Counter
+}
+
+func newTenantSet(quotas map[string]Quota, defq Quota, reg *obs.Registry) *tenantSet {
+	return &tenantSet{
+		byName:  make(map[string]*tenant),
+		quotas:  quotas,
+		defq:    defq,
+		reg:     reg,
+		created: reg.Counter("server.tenants"),
+	}
+}
+
+// get resolves (creating if permitted) the tenant for a HELLO.
+func (ts *tenantSet) get(name string) (*tenant, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t := ts.byName[name]; t != nil {
+		return t, nil
+	}
+	q := ts.defq
+	if ts.quotas != nil {
+		var ok bool
+		if q, ok = ts.quotas[name]; !ok {
+			return nil, ErrNoTenant
+		}
+	}
+	t := &tenant{name: name, quota: q}
+	p := "tenant." + name + "."
+	t.ops = ts.reg.Counter(p + "ops")
+	t.writesAcked = ts.reg.Counter(p + "writes_acked")
+	t.bytesWritten = ts.reg.Counter(p + "bytes_written")
+	t.bytesRead = ts.reg.Counter(p + "bytes_read")
+	t.shed = ts.reg.Counter(p + "shed")
+	t.rejected = ts.reg.Counter(p + "rejected")
+	ts.reg.RegisterFunc(p+"bytes", func() float64 { return float64(t.bytes.Load()) })
+	ts.reg.RegisterFunc(p+"open_files", func() float64 { return float64(t.files.Load()) })
+	ts.byName[name] = t
+	ts.created.Add(1)
+	return t, nil
+}
+
+// enter admits one request into the tenant's in-flight window; the caller
+// must pair it with leave(). A false return means the in-flight quota is
+// exhausted (and the rejection has been counted).
+func (t *tenant) enter() bool {
+	n := t.inflight.Add(1)
+	if t.quota.MaxInFlight > 0 && n > t.quota.MaxInFlight {
+		t.inflight.Add(-1)
+		t.rejected.Add(1)
+		return false
+	}
+	t.ops.Add(1)
+	return true
+}
+
+func (t *tenant) leave() { t.inflight.Add(-1) }
+
+// reserveFile claims one open-handle slot, false when MaxFiles is reached.
+func (t *tenant) reserveFile() bool {
+	n := t.files.Add(1)
+	if t.quota.MaxFiles > 0 && n > t.quota.MaxFiles {
+		t.files.Add(-1)
+		t.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+func (t *tenant) releaseFile() { t.files.Add(-1) }
+
+// reserveBytes claims growth bytes against MaxBytes, false when the quota
+// would be exceeded. Release with growBytes(-growth) if the write fails.
+func (t *tenant) reserveBytes(growth int64) bool {
+	if growth <= 0 {
+		return true
+	}
+	n := t.bytes.Add(growth)
+	if t.quota.MaxBytes > 0 && n > t.quota.MaxBytes {
+		t.bytes.Add(-growth)
+		t.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+func (t *tenant) growBytes(d int64) { t.bytes.Add(d) }

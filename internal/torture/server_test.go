@@ -1,0 +1,89 @@
+package torture
+
+import (
+	"fmt"
+	"testing"
+)
+
+func failServerViolations(t *testing.T, vs []Violation, trace string) {
+	t.Helper()
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+	if t.Failed() && trace != "" {
+		t.Logf("flight recorder:\n%s", trace)
+	}
+}
+
+// TestServerTortureCompletion proves the no-crash baseline: every write is
+// acked, the clean shutdown's image mounts back, and the oracle agrees with
+// the commit hook about what every region holds.
+func TestServerTortureCompletion(t *testing.T) {
+	res, err := RunServer(ServerConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatal("completion run crashed")
+	}
+	if res.Acked != res.Issued || res.Issued == 0 {
+		t.Fatalf("acked %d of %d issued writes; want all", res.Acked, res.Issued)
+	}
+	if res.Commits == 0 {
+		t.Fatal("commit hook saw no group commits")
+	}
+	if res.Commits >= res.Acked {
+		t.Errorf("no coalescing: %d commits for %d acked writes", res.Commits, res.Acked)
+	}
+	t.Logf("issued=%d acked=%d commits=%d mediaOps=%d", res.Issued, res.Acked, res.Commits, res.MediaOps)
+	failServerViolations(t, res.Violations, res.Trace)
+}
+
+// TestServerTortureSweep is ISSUE 6's acceptance gate: ~200 sampled
+// (seed, crash-index) points of clients writing through the live server
+// loop, the media torn mid-batch, and the acked-vs-unacked oracle verified
+// after each remount. -short trims the sample count for quick iteration.
+func TestServerTortureSweep(t *testing.T) {
+	const shards = 4
+	perShard := 50 // 4 x 50 = 200 sampled points
+	if testing.Short() {
+		perShard = 10
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			cfg := ServerConfig{Seed: int64(s)*7919 + 1}
+			res, err := ServerSweep(cfg, perShard, int64(s)*99991+29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Samples != perShard {
+				t.Fatalf("ran %d samples, want %d", res.Samples, perShard)
+			}
+			if res.Crashed == 0 {
+				t.Fatalf("no sampled crash index hit the fail point (range %d)", res.TotalOps)
+			}
+			t.Logf("media-op range %d: %d crashed, %d completed past the workload",
+				res.TotalOps, res.Crashed, res.Completed)
+			failServerViolations(t, res.Violations, "")
+		})
+	}
+}
+
+// TestServerTortureCrashPoint pins one early crash index and checks the
+// bookkeeping a crashed run must report: the device crashed, not every
+// issued write was acked, and the oracle is still clean.
+func TestServerTortureCrashPoint(t *testing.T) {
+	res, err := RunServer(ServerConfig{Seed: 5, CrashAt: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatalf("crash at media op 40 did not fire (mediaOps=%d)", res.MediaOps)
+	}
+	if res.Acked >= res.Issued {
+		t.Errorf("crashed run acked all %d issued writes; expected losses", res.Issued)
+	}
+	failServerViolations(t, res.Violations, res.Trace)
+}
