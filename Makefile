@@ -72,10 +72,11 @@ bench-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# The instrumented core experiment at quick scale, emitting the full obs
-# payload (throughput, latency quantiles, WA ratio, contention counters).
+# The instrumented core + mixed experiments at quick scale, emitting the
+# full obs payload (throughput, latency quantiles, WA ratio, contention
+# counters, cache-tier hit/miss/flush counters per read/write ratio).
 bench-json:
-	$(GO) run ./cmd/mgspbench -exp core -json BENCH_core.json
+	$(GO) run ./cmd/mgspbench -exp core,mixed -json BENCH_core.json
 
 # The concurrent crash-consistency torture harness on its own: ~200 sampled
 # (seed, crash-index) points with 4 racing writers per run, op-atomicity

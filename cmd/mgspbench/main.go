@@ -30,7 +30,7 @@ import (
 	"mgsp/internal/sqlite"
 )
 
-var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core", "kv", "ingest"}
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core", "mixed", "kv", "ingest"}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
@@ -139,6 +139,19 @@ func main() {
 	run("ingest", func() ([]*bench.Table, error) { return one(bench.Ingest(sc, *serverAddr)) })
 	run("core", func() ([]*bench.Table, error) {
 		t, m, h, err := bench.Core(sc)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			metrics[k] = v
+		}
+		for k, v := range h {
+			hists[k] = v
+		}
+		return []*bench.Table{t}, nil
+	})
+	run("mixed", func() ([]*bench.Table, error) {
+		t, m, h, err := bench.Mixed(sc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,70 @@
+// Package cachecorpus reconstructs internal/cache's frame-latch shapes for
+// the crashsafe-locks golden corpus. Frame sets are guarded by plain sync
+// mutexes held only for DRAM pointer swaps; the drain path must collect
+// frame payloads under the latch, release it, and only then touch media —
+// a latch held across a media op would, under crash injection, leak to
+// every optimistic reader's latched fallback and wedge the set forever.
+package cachecorpus
+
+import (
+	"sync"
+
+	"core"
+	"nvm"
+	"sim"
+)
+
+type set struct {
+	mu     sync.Mutex
+	bufs   [][]byte
+	blocks []int64
+}
+
+type pool struct {
+	sets []*set
+	dev  *nvm.Device
+	f    *core.File
+}
+
+// badLatchedMissFill: a read miss that fills the frame straight from media
+// while holding the set latch — the crash panic leaves s.mu locked and every
+// reader's latched fallback on this set deadlocks behind a dead filler.
+func (p *pool) badLatchedMissFill(ctx *sim.Ctx, s *set, off int64) {
+	s.mu.Lock() // want `s\.mu\.Lock held across potential crash point Read without a deferred unlock`
+	buf := make([]byte, 4096)
+	p.dev.Read(ctx, buf, off)
+	s.bufs = append(s.bufs, buf)
+	s.mu.Unlock()
+}
+
+// badLatchedDrain: draining a set's dirty frames through the shadow-log
+// commit path with the latch still held.
+func (p *pool) badLatchedDrain(ctx *sim.Ctx, s *set, ups []core.Update) {
+	s.mu.Lock() // want `s\.mu\.Lock held across potential crash point WriteMulti without a deferred unlock`
+	p.f.WriteMulti(ctx, ups)
+	s.bufs = nil
+	s.mu.Unlock()
+}
+
+// goodCollectThenDrain: the flusher's actual discipline — snapshot the dirty
+// payloads under the latch, drop it, then issue the media batch with no
+// frame lock held.
+func (p *pool) goodCollectThenDrain(ctx *sim.Ctx, s *set) {
+	s.mu.Lock()
+	ups := make([]core.Update, len(s.bufs))
+	for i, b := range s.bufs {
+		ups[i] = core.Update{Off: s.blocks[i] * 4096, Data: b}
+	}
+	s.mu.Unlock()
+	p.f.WriteMulti(ctx, ups)
+}
+
+// goodDeferredFill: if a fill must hold the latch (installing into a fixed
+// way), the unlock is deferred so the crash panic releases it on unwind.
+func (p *pool) goodDeferredFill(ctx *sim.Ctx, s *set, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, 4096)
+	p.dev.Read(ctx, buf, off)
+	s.bufs = append(s.bufs, buf)
+}

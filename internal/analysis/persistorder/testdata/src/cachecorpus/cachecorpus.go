@@ -1,0 +1,62 @@
+// Package cachecorpus reconstructs internal/core's cache-drain shape for
+// the persistorder golden corpus: the flusher collects dirty DRAM frames,
+// lands their payloads on media, and only then commits the batch and marks
+// the frames clean. Marking a frame clean is a publication — once clean, the
+// frame can be evicted and later reads trust media — so an unfenced payload
+// reaching the commit-and-clean step is the lost-write bug: a crash after
+// the commit word but before the payload write-back leaves media stale while
+// every frame claims it is current.
+package cachecorpus
+
+import (
+	"nvm"
+	"sim"
+)
+
+type frame struct{ dirty bool }
+
+type drainer struct {
+	dev    *nvm.Device
+	frames []*frame
+}
+
+// commitCleanFrames publishes the drained batch (name-matched as a commit
+// sink) and marks the collected frames clean.
+func (d *drainer) commitCleanFrames(ctx *sim.Ctx) {
+	d.dev.Store8(ctx, 0, 1)
+	for _, f := range d.frames {
+		f.dirty = false
+	}
+}
+
+// badDrainMarksCleanUnfenced: the payload write can reach the
+// commit-and-mark-clean step with no barrier in between.
+func (d *drainer) badDrainMarksCleanUnfenced(ctx *sim.Ctx, data []byte) {
+	d.dev.WriteNT(ctx, data, 4096) // want `nvm WriteNT may reach commit sink commitCleanFrames without an intervening persist barrier`
+	d.commitCleanFrames(ctx)
+}
+
+// badDrainBatch: every frame of a coalesced drain batch must be ordered
+// before the single batch commit; each unfenced payload is flagged.
+func (d *drainer) badDrainBatch(ctx *sim.Ctx, a, b []byte) {
+	d.dev.WriteNT(ctx, a, 4096) // want `nvm WriteNT may reach commit sink commitCleanFrames without an intervening persist barrier`
+	d.dev.WriteNT(ctx, b, 8192) // want `nvm WriteNT may reach commit sink commitCleanFrames without an intervening persist barrier`
+	d.commitCleanFrames(ctx)
+}
+
+// goodDrainBarrierThenClean: the flusher's actual discipline — N payload
+// writes, one fence, then the commit that lets MarkClean run.
+func (d *drainer) goodDrainBarrierThenClean(ctx *sim.Ctx, a, b []byte) {
+	d.dev.WriteNT(ctx, a, 4096)
+	d.dev.WriteNT(ctx, b, 8192)
+	d.dev.Fence(ctx)
+	d.commitCleanFrames(ctx)
+}
+
+// goodCachedDrain: cache-line writes need an explicit write-back, not just
+// an sfence, before the frames may be declared clean.
+func (d *drainer) goodCachedDrain(ctx *sim.Ctx, a []byte) {
+	d.dev.Write(ctx, a, 4096)
+	d.dev.Persist(ctx, 4096, len(a))
+	d.commitCleanFrames(ctx)
+}

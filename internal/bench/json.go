@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strings"
 
 	"mgsp/internal/obs"
 )
@@ -112,5 +114,43 @@ func ValidateReport(data []byte) (*Report, error) {
 			return nil, fmt.Errorf("bench: histogram %q is inconsistent: %+v", name, h)
 		}
 	}
+	for name, v := range r.Metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bench: metric %q is %v", name, v)
+		}
+		// Cache-tier counters are monotone; a negative value means the
+		// producer mislabelled a derived quantity under the cache prefix.
+		if strings.Contains(name, "/cache.") && v < 0 {
+			return nil, fmt.Errorf("bench: cache metric %q is negative: %v", name, v)
+		}
+	}
+	// The mixed experiment exists to compare cache-on vs cache-off; a report
+	// claiming to include it but carrying no cache counters is malformed.
+	if reportHasExperiment(r.Experiment, "mixed") {
+		found := false
+		for name := range r.Metrics {
+			if strings.Contains(name, "/cache.hits") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bench: experiment %q includes mixed but no cache.hits metric", r.Experiment)
+		}
+	}
 	return &r, nil
+}
+
+// reportHasExperiment reports whether the raw -exp string names exp, either
+// via "all" or as one element of the comma-separated list.
+func reportHasExperiment(raw, exp string) bool {
+	if raw == "all" {
+		return true
+	}
+	for _, e := range strings.Split(raw, ",") {
+		if strings.TrimSpace(e) == exp {
+			return true
+		}
+	}
+	return false
 }

@@ -65,6 +65,8 @@ func TestValidateReportRejects(t *testing.T) {
 		{"row mismatch", bad(func(r *Report) { r.Tables[0].Rows = append(r.Tables[0].Rows, "r2") }), "cell rows"},
 		{"col mismatch", bad(func(r *Report) { r.Tables[0].Cols = r.Tables[0].Cols[:1] }), "columns"},
 		{"bad hist", bad(func(r *Report) { h := r.Hists["r1/h"]; h.P99 = h.Max + 1; r.Hists["r1/h"] = h }), "inconsistent"},
+		{"negative cache metric", bad(func(r *Report) { r.Metrics["w50/+cache/cache.hits"] = -1 }), "negative"},
+		{"mixed without cache metrics", bad(func(r *Report) { r.Experiment = "core,mixed" }), "no cache.hits"},
 	}
 	for _, c := range cases {
 		if _, err := ValidateReport(c.data); err == nil || !strings.Contains(err.Error(), c.want) {
@@ -109,5 +111,39 @@ func TestCoreSmoke(t *testing.T) {
 	}
 	if LiveSnapshot() == nil || LiveTraceRing() == nil {
 		t.Error("live snapshot/trace not published")
+	}
+}
+
+// TestMixedSmoke drives the read/write-ratio sweep end to end at smoke scale:
+// the table must carry all three cache variants per ratio, the cache columns
+// must report hits at read-heavy ratios, and the emitted report must pass the
+// mixed-specific validation (cache.hits present, counters non-negative).
+func TestMixedSmoke(t *testing.T) {
+	sc := Smoke()
+	tab, metrics, hists, err := Mixed(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []string{"MGSP", "+cache", "+writeback"} {
+			if tab.Cell(row, col) <= 0 {
+				t.Errorf("%s/%s: no throughput measured", row, col)
+			}
+		}
+	}
+	// At the most read-heavy ratio the cache must actually be hitting.
+	if v := metrics["mixed-w10/+cache/cache.hits"]; v <= 0 {
+		t.Errorf("w10/+cache cache.hits = %v, want > 0", v)
+	}
+	// Write-back must buffer at least some overwrites at the write-heavy end.
+	if v := metrics["mixed-w90/+writeback/core.buffered_writes"]; v <= 0 {
+		t.Errorf("w90/+writeback core.buffered_writes = %v, want > 0", v)
+	}
+	var buf bytes.Buffer
+	if err := BuildReport("mixed", "smoke", sc, []*Table{tab}, metrics, hists).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateReport(buf.Bytes()); err != nil {
+		t.Fatal(err)
 	}
 }

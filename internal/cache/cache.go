@@ -1,0 +1,423 @@
+// Package cache is MGSP's volatile DRAM frame tier: a fixed-capacity,
+// set-associative pool of block-sized frames keyed by (file slot, block)
+// sitting between the vfs API and the shadow tree. Reads are optimistic and
+// latch-free — a reader copies from a frame and validates a per-frame
+// version counter (Lersch et al.'s optimistic-consistency protocol), never
+// taking a latch on the hit path — while installs, patches, and clock
+// eviction serialize on a per-set mutex that is only ever held across pure
+// DRAM work, never across a media operation.
+//
+// Crash consistency never depends on this package: frames are volatile,
+// dirty frames hold acked-but-undurable write-back data that only becomes
+// durable when core drains it through the ordinary shadow-log commit path
+// (WriteMulti batches), and a remount always starts from an empty pool. A
+// torn flusher mid-drain is therefore indistinguishable from unbatched
+// writes — see DESIGN.md §13.
+//
+// Concurrency protocol (the part -race cares about): every frame field that
+// the latch-free reader touches is atomic, and frame content lives behind an
+// atomic.Pointer to an immutable buffer. Mutations never write a published
+// buffer in place — they copy, patch the copy, and swap the pointer inside
+// an odd/even seqlock window on the version counter. A reader that observed
+// an even version before and after its copy saw one consistent (key, data)
+// pair; anything else retries and finally falls back to the set latch, so a
+// present frame is never silently bypassed (write-back correctness: a miss
+// must imply the media is current).
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mgsp/internal/obs"
+)
+
+// ways is the set associativity. Eight frames per set keeps the optimistic
+// probe short (at most eight version loads) while giving the clock hand
+// enough clean candidates that a single pinned-dirty frame cannot stall
+// eviction for a whole set.
+const ways = 8
+
+// optimisticRetries bounds the latch-free attempts before a read escalates
+// to the set latch. Conflicts are short (a patch is one buffer swap), so one
+// retry usually suffices; the bound keeps the worst case finite.
+const optimisticRetries = 3
+
+// frame is one cached block. All fields the latch-free read path touches are
+// atomics; data points to an immutable buffer (copy-on-write on every patch).
+// ver is the seqlock: odd while a mutation is in progress, bumped to a new
+// even value when it publishes. slot is -1 while the frame is empty.
+type frame struct {
+	ver   atomic.Uint64
+	slot  atomic.Int64
+	block atomic.Int64
+	data  atomic.Pointer[[]byte]
+	dirty atomic.Bool
+	ref   atomic.Bool // clock reference bit
+}
+
+// set is one associativity set: a mutex serializing mutations (pure DRAM,
+// never held across media ops) and a clock hand for eviction.
+type set struct {
+	mu     sync.Mutex
+	hand   int
+	frames [ways]frame
+}
+
+// Pool is the frame pool. The zero value is not usable; call New.
+type Pool struct {
+	sets      []set
+	mask      int64
+	blockSize int64
+
+	// Metrics (registered under "cache." by Register). dirty is the live
+	// dirty-frame count, also the flusher's watermark signal.
+	hits         obs.Counter
+	misses       obs.Counter
+	evictions    obs.Counter
+	readRetry    obs.Counter
+	flushBatches obs.Counter
+	dirty        atomic.Int64
+}
+
+// New builds a pool of at least `frames` block-sized frames. The set count
+// rounds up to a power of two, so the real capacity can exceed the request
+// by up to one set; Frames reports the actual value.
+func New(frames int, blockSize int64) *Pool {
+	if frames < 1 {
+		frames = 1
+	}
+	nsets := 1
+	for nsets*ways < frames {
+		nsets <<= 1
+	}
+	p := &Pool{sets: make([]set, nsets), mask: int64(nsets - 1), blockSize: blockSize}
+	for s := range p.sets {
+		for w := range p.sets[s].frames {
+			p.sets[s].frames[w].slot.Store(-1)
+		}
+	}
+	return p
+}
+
+// Frames returns the pool capacity in frames.
+func (p *Pool) Frames() int { return len(p.sets) * ways }
+
+// BlockSize returns the frame size in bytes.
+func (p *Pool) BlockSize() int64 { return p.blockSize }
+
+// DirtyCount returns the number of dirty frames (the flusher watermark).
+func (p *Pool) DirtyCount() int64 { return p.dirty.Load() }
+
+func (p *Pool) setFor(slot int, block int64) *set {
+	// Fibonacci-style mix so files sharing low block numbers spread out.
+	h := (uint64(block)*0x9E3779B97F4A7C15 + uint64(slot)*0xFF51AFD7ED558CCD)
+	return &p.sets[int64(h>>32)&p.mask]
+}
+
+// Read copies len(dst) bytes at byte offset off within the cached (slot,
+// block) frame into dst. It is latch-free on the hit path: copy, then
+// validate the version; on repeated conflicts it escalates to the set latch
+// so a present frame is never bypassed (in write-back mode the frame may be
+// the only holder of acked data, so "fall through to media" is only sound
+// when the frame is truly absent). Returns false only on a true miss.
+func (p *Pool) Read(slot int, block int64, dst []byte, off int) bool {
+	s := p.setFor(slot, block)
+	for attempt := 0; attempt < optimisticRetries; attempt++ {
+		conflict := false
+		for w := range s.frames {
+			f := &s.frames[w]
+			v1 := f.ver.Load()
+			if v1&1 != 0 {
+				conflict = true
+				continue
+			}
+			if f.slot.Load() != int64(slot) || f.block.Load() != block {
+				continue
+			}
+			data := f.data.Load()
+			if data == nil {
+				continue
+			}
+			copy(dst, (*data)[off:off+len(dst)])
+			if f.ver.Load() == v1 {
+				f.ref.Store(true)
+				p.hits.Add(1)
+				return true
+			}
+			conflict = true
+		}
+		if !conflict {
+			p.misses.Add(1)
+			return false
+		}
+		p.readRetry.Add(1)
+	}
+	// Optimistic attempts kept colliding with patches: take the latch once.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.find(slot, block); f != nil {
+		copy(dst, (*f.data.Load())[off:off+len(dst)])
+		f.ref.Store(true)
+		p.hits.Add(1)
+		return true
+	}
+	p.misses.Add(1)
+	return false
+}
+
+// find locates the frame for (slot, block) in s. Callers hold s.mu.
+func (s *set) find(slot int, block int64) *frame {
+	for w := range s.frames {
+		f := &s.frames[w]
+		if f.slot.Load() == int64(slot) && f.block.Load() == block && f.data.Load() != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// publish runs one seqlock-protected mutation of f. Callers hold the set
+// mutex (so writers never collide and the odd window is exclusive).
+func publish(f *frame, mutate func()) {
+	f.ver.Add(1) // odd: mutation in progress
+	mutate()
+	f.ver.Add(1) // even: published
+}
+
+// Install inserts a clean-or-dirty frame for (slot, block), taking ownership
+// of data (callers must not touch it afterwards; len(data) must equal the
+// block size). If the key is already present the existing frame's content is
+// replaced — unless it is dirty and the install is clean, in which case the
+// buffered content wins and the install is a no-op (the dirty frame is at
+// least as new as anything read from media). The victim is an empty way or
+// the clock's next clean frame; a set whose frames are all dirty refuses
+// (returns false) — dirty frames are pinned until drained, which is what
+// makes "miss implies media is current" hold in write-back mode.
+func (p *Pool) Install(slot int, block int64, data []byte, dirty bool) bool {
+	s := p.setFor(slot, block)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.find(slot, block); f != nil {
+		if f.dirty.Load() && !dirty {
+			f.ref.Store(true)
+			return true
+		}
+		if dirty && !f.dirty.Load() {
+			p.dirty.Add(1)
+		}
+		publish(f, func() {
+			f.data.Store(&data)
+			f.dirty.Store(dirty)
+		})
+		f.ref.Store(true)
+		return true
+	}
+	f := s.victim(p)
+	if f == nil {
+		return false
+	}
+	if dirty {
+		p.dirty.Add(1)
+	}
+	publish(f, func() {
+		f.slot.Store(int64(slot))
+		f.block.Store(block)
+		f.data.Store(&data)
+		f.dirty.Store(dirty)
+	})
+	f.ref.Store(true)
+	return true
+}
+
+// victim picks an empty way, or sweeps the clock hand over clean frames
+// (second chance on the ref bit), skipping dirty ones. Callers hold s.mu.
+func (s *set) victim(p *Pool) *frame {
+	for w := range s.frames {
+		if s.frames[w].data.Load() == nil {
+			return &s.frames[w]
+		}
+	}
+	// Two sweeps: the first clears ref bits, the second must find a clean
+	// frame unless every frame is dirty.
+	for sweep := 0; sweep < 2*ways; sweep++ {
+		f := &s.frames[s.hand]
+		s.hand = (s.hand + 1) % ways
+		if f.dirty.Load() {
+			continue
+		}
+		if f.ref.Swap(false) {
+			continue
+		}
+		p.evictions.Add(1)
+		return f
+	}
+	return nil
+}
+
+// Patch overlays p[...] at byte offset off of the cached (slot, block)
+// frame, copy-on-write: the published buffer is never written in place.
+// markDirty=true is the write-back buffered path (the frame becomes the only
+// holder of the acked data until drained); markDirty=false mirrors a
+// committed direct write and leaves the dirty flag as it was. Returns false
+// when the frame is absent — the caller then falls back to the direct path.
+func (p *Pool) Patch(slot int, block int64, off int, data []byte, markDirty bool) bool {
+	s := p.setFor(slot, block)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.find(slot, block)
+	if f == nil {
+		return false
+	}
+	old := *f.data.Load()
+	buf := make([]byte, len(old))
+	copy(buf, old)
+	copy(buf[off:], data)
+	if markDirty && !f.dirty.Load() {
+		p.dirty.Add(1)
+	}
+	publish(f, func() {
+		f.data.Store(&buf)
+		if markDirty {
+			f.dirty.Store(true)
+		}
+	})
+	f.ref.Store(true)
+	return true
+}
+
+// DirtyFrame is one dirty frame captured by CollectDirty: the block, the
+// immutable content buffer at capture time, and the version that lets
+// MarkClean detect a concurrent re-patch.
+type DirtyFrame struct {
+	Block int64
+	Data  []byte
+	f     *frame
+	s     *set
+	ver   uint64
+}
+
+// CollectDirty snapshots the dirty frames of one file slot. The returned
+// buffers are the frames' immutable published content — safe to read (and
+// hand to a media write) without any latch, because patches swap buffers
+// instead of mutating them.
+func (p *Pool) CollectDirty(slot int) []DirtyFrame {
+	var out []DirtyFrame
+	for i := range p.sets {
+		s := &p.sets[i]
+		s.mu.Lock()
+		for w := range s.frames {
+			f := &s.frames[w]
+			if f.dirty.Load() && f.slot.Load() == int64(slot) {
+				out = append(out, DirtyFrame{
+					Block: f.block.Load(),
+					Data:  *f.data.Load(),
+					f:     f,
+					s:     s,
+					ver:   f.ver.Load(),
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DirtySlots returns the distinct file slots that currently own dirty
+// frames — the flusher's work list.
+func (p *Pool) DirtySlots() []int {
+	seen := map[int]bool{}
+	var out []int
+	for i := range p.sets {
+		s := &p.sets[i]
+		s.mu.Lock()
+		for w := range s.frames {
+			f := &s.frames[w]
+			if f.dirty.Load() {
+				if slot := int(f.slot.Load()); !seen[slot] {
+					seen[slot] = true
+					out = append(out, slot)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// MarkClean clears the dirty flag of a collected frame — but only if its
+// version is unchanged since CollectDirty. A version bump means a buffered
+// write re-patched the frame while its old content was being drained; the
+// frame then stays dirty and the next drain picks up the newer content.
+// Reports whether the frame was cleaned.
+func (p *Pool) MarkClean(d DirtyFrame) bool {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.f.ver.Load() != d.ver || !d.f.dirty.Load() {
+		return false
+	}
+	d.f.dirty.Store(false)
+	p.dirty.Add(-1)
+	return true
+}
+
+// InvalidateSlot drops every frame (clean or dirty) belonging to the file
+// slot — remove, truncate, and create-over-existing, where the cached
+// content no longer describes the file. Dropped dirty frames are acked but
+// undurable write-back data; all three callers are destroying that data at
+// the file level anyway.
+func (p *Pool) InvalidateSlot(slot int) {
+	for i := range p.sets {
+		s := &p.sets[i]
+		s.mu.Lock()
+		for w := range s.frames {
+			f := &s.frames[w]
+			if f.slot.Load() != int64(slot) || f.data.Load() == nil {
+				continue
+			}
+			if f.dirty.Load() {
+				p.dirty.Add(-1)
+			}
+			publish(f, func() {
+				f.slot.Store(-1)
+				f.data.Store(nil)
+				f.dirty.Store(false)
+			})
+			f.ref.Store(false)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// NoteFlushBatch counts one drained WriteMulti batch (cache.flush_batches).
+func (p *Pool) NoteFlushBatch() { p.flushBatches.Add(1) }
+
+// Stats is a point-in-time copy of the pool counters, for tests.
+type Stats struct {
+	Hits, Misses, Evictions, ReadRetries, FlushBatches, DirtyFrames int64
+}
+
+// Stats returns the counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Evictions:    p.evictions.Load(),
+		ReadRetries:  p.readRetry.Load(),
+		FlushBatches: p.flushBatches.Load(),
+		DirtyFrames:  p.dirty.Load(),
+	}
+}
+
+// Register publishes the pool metrics into r under prefix (core uses
+// "cache."): hit/miss/eviction/optimistic-retry counters, the flush-batch
+// counter the drain path bumps, and the live dirty-frame gauge.
+func (p *Pool) Register(r *obs.Registry, prefix string) {
+	r.RegisterCounter(prefix+"hits", &p.hits)
+	r.RegisterCounter(prefix+"misses", &p.misses)
+	r.RegisterCounter(prefix+"evictions", &p.evictions)
+	r.RegisterCounter(prefix+"read_retry", &p.readRetry)
+	r.RegisterCounter(prefix+"flush_batches", &p.flushBatches)
+	r.RegisterFunc(prefix+"dirty_frames", func() float64 { return float64(p.dirty.Load()) })
+}

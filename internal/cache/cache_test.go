@@ -1,0 +1,324 @@
+package cache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mgsp/internal/sim"
+)
+
+const bs = 4096
+
+func filled(b byte) []byte {
+	buf := make([]byte, bs)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestReadMissThenInstallHit(t *testing.T) {
+	p := New(64, bs)
+	dst := make([]byte, bs)
+	if p.Read(0, 3, dst, 0) {
+		t.Fatal("read of empty pool must miss")
+	}
+	if !p.Install(0, 3, filled(0xAB), false) {
+		t.Fatal("install into empty pool must succeed")
+	}
+	if !p.Read(0, 3, dst, 0) {
+		t.Fatal("read after install must hit")
+	}
+	if !bytes.Equal(dst, filled(0xAB)) {
+		t.Fatal("hit returned wrong content")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestReadPartialOffset(t *testing.T) {
+	p := New(64, bs)
+	buf := filled(0)
+	copy(buf[100:], []byte("hello"))
+	p.Install(7, 0, buf, false)
+	dst := make([]byte, 5)
+	if !p.Read(7, 0, dst, 100) {
+		t.Fatal("expected hit")
+	}
+	if string(dst) != "hello" {
+		t.Fatalf("got %q", dst)
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	p := New(64, bs)
+	p.Install(1, 5, filled(0x11), false)
+	dst := make([]byte, bs)
+	if p.Read(2, 5, dst, 0) {
+		t.Fatal("different slot must miss")
+	}
+	if p.Read(1, 6, dst, 0) {
+		t.Fatal("different block must miss")
+	}
+}
+
+func TestPatchVisibleAndCoW(t *testing.T) {
+	p := New(64, bs)
+	p.Install(0, 0, filled(0x00), false)
+	dst := make([]byte, bs)
+	p.Read(0, 0, dst, 0) // hold a reference to the pre-patch buffer
+	before := dst
+
+	if !p.Patch(0, 0, 10, []byte{0xFF, 0xFF}, false) {
+		t.Fatal("patch of present frame must succeed")
+	}
+	after := make([]byte, bs)
+	p.Read(0, 0, after, 0)
+	if after[10] != 0xFF || after[11] != 0xFF || after[9] != 0 {
+		t.Fatal("patch content wrong")
+	}
+	// Copy-on-write: the earlier copy must be untouched.
+	if before[10] != 0 {
+		t.Fatal("patch mutated a published buffer in place")
+	}
+	if p.Patch(9, 9, 0, []byte{1}, false) {
+		t.Fatal("patch of absent frame must fail")
+	}
+}
+
+func TestDirtyLifecycle(t *testing.T) {
+	p := New(64, bs)
+	p.Install(0, 0, filled(0x01), false)
+	if p.DirtyCount() != 0 {
+		t.Fatal("clean install must not count dirty")
+	}
+	if !p.Patch(0, 0, 0, []byte{0x02}, true) {
+		t.Fatal("dirty patch failed")
+	}
+	if p.DirtyCount() != 1 {
+		t.Fatalf("DirtyCount=%d, want 1", p.DirtyCount())
+	}
+	// Re-dirtying must not double count.
+	p.Patch(0, 0, 1, []byte{0x03}, true)
+	if p.DirtyCount() != 1 {
+		t.Fatalf("DirtyCount=%d after second patch, want 1", p.DirtyCount())
+	}
+	slots := p.DirtySlots()
+	if len(slots) != 1 || slots[0] != 0 {
+		t.Fatalf("DirtySlots=%v", slots)
+	}
+	dirty := p.CollectDirty(0)
+	if len(dirty) != 1 || dirty[0].Block != 0 {
+		t.Fatalf("CollectDirty=%v", dirty)
+	}
+	if dirty[0].Data[0] != 0x02 || dirty[0].Data[1] != 0x03 {
+		t.Fatal("collected content wrong")
+	}
+	if !p.MarkClean(dirty[0]) {
+		t.Fatal("MarkClean of unchanged frame must succeed")
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("MarkClean must drop the dirty count")
+	}
+}
+
+func TestMarkCleanVersionGuard(t *testing.T) {
+	p := New(64, bs)
+	p.Install(0, 0, filled(0x01), true)
+	dirty := p.CollectDirty(0)
+	// A buffered write re-patches the frame while the drain is mid-flight.
+	p.Patch(0, 0, 0, []byte{0x55}, true)
+	if p.MarkClean(dirty[0]) {
+		t.Fatal("MarkClean must refuse: frame was re-patched since collection")
+	}
+	if p.DirtyCount() != 1 {
+		t.Fatal("re-patched frame must stay dirty")
+	}
+	// The next collection sees the newer content and cleans fine.
+	dirty = p.CollectDirty(0)
+	if dirty[0].Data[0] != 0x55 {
+		t.Fatal("second collection returned stale content")
+	}
+	if !p.MarkClean(dirty[0]) {
+		t.Fatal("second MarkClean must succeed")
+	}
+}
+
+func TestCleanInstallDoesNotClobberDirty(t *testing.T) {
+	p := New(64, bs)
+	p.Install(0, 0, filled(0x01), true)
+	// A read-side miss fill racing the buffered write must not overwrite
+	// the (newer) buffered content.
+	if !p.Install(0, 0, filled(0x02), false) {
+		t.Fatal("clean install over dirty must report success (frame present)")
+	}
+	dst := make([]byte, bs)
+	p.Read(0, 0, dst, 0)
+	if dst[0] != 0x01 {
+		t.Fatal("clean install clobbered dirty frame content")
+	}
+	if p.DirtyCount() != 1 {
+		t.Fatal("frame must remain dirty")
+	}
+}
+
+func TestClockEvictionSkipsDirty(t *testing.T) {
+	p := New(1, bs) // one set, `ways` frames
+	if p.Frames() != ways {
+		t.Fatalf("Frames=%d, want %d", p.Frames(), ways)
+	}
+	// Fill the set: one dirty frame, rest clean.
+	p.Install(0, 0, filled(0x00), true)
+	for b := int64(1); b < ways; b++ {
+		p.Install(0, b, filled(byte(b)), false)
+	}
+	// Overflow: a new block must evict a clean frame, never the dirty one.
+	if !p.Install(0, 100, filled(0x64), false) {
+		t.Fatal("install must evict a clean frame")
+	}
+	dst := make([]byte, bs)
+	if !p.Read(0, 0, dst, 0) {
+		t.Fatal("dirty frame must never be evicted")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", p.Stats().Evictions)
+	}
+}
+
+func TestAllDirtySetRefusesInstall(t *testing.T) {
+	p := New(1, bs)
+	for b := int64(0); b < ways; b++ {
+		p.Install(0, b, filled(byte(b)), true)
+	}
+	if p.Install(0, 100, filled(0x64), false) {
+		t.Fatal("install into an all-dirty set must refuse")
+	}
+	// After draining one frame the set accepts again.
+	d := p.CollectDirty(0)
+	p.MarkClean(d[0])
+	if !p.Install(0, 100, filled(0x64), false) {
+		t.Fatal("install must succeed after a drain freed a frame")
+	}
+}
+
+func TestInvalidateSlot(t *testing.T) {
+	p := New(64, bs)
+	p.Install(3, 0, filled(0x01), true)
+	p.Install(3, 1, filled(0x02), false)
+	p.Install(4, 0, filled(0x03), false)
+	p.InvalidateSlot(3)
+	dst := make([]byte, bs)
+	if p.Read(3, 0, dst, 0) || p.Read(3, 1, dst, 0) {
+		t.Fatal("invalidated slot must miss")
+	}
+	if !p.Read(4, 0, dst, 0) {
+		t.Fatal("other slots must survive invalidation")
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("invalidation must release dirty accounting")
+	}
+}
+
+// TestOptimisticReadHammer races latch-free readers against patchers: under
+// -race this validates the seqlock protocol (atomics + immutable buffers),
+// and the uniformity check validates that no reader ever observes a torn
+// (half-patched) block.
+func TestOptimisticReadHammer(t *testing.T) {
+	p := New(8, bs)
+	p.Install(0, 0, filled(0x00), false)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, bs)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !p.Read(0, 0, dst, 0) {
+					t.Error("frame vanished")
+					return
+				}
+				first := dst[0]
+				for i := range dst {
+					if dst[i] != first {
+						t.Errorf("torn read: dst[0]=%#x dst[%d]=%#x", first, i, dst[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	for v := byte(1); v <= 200; v++ {
+		if !p.Patch(0, 0, 0, filled(v), false) {
+			t.Fatal("patch failed")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// fakeTarget counts FlushPass invocations and clears the pool's dirty
+// frames the way core's drain would.
+type fakeTarget struct {
+	pool   *Pool
+	passes int
+}
+
+func (ft *fakeTarget) FlushPass(ctx *sim.Ctx) FlushResult {
+	ft.passes++
+	var drained int64
+	for _, slot := range ft.pool.DirtySlots() {
+		for _, d := range ft.pool.CollectDirty(slot) {
+			if ft.pool.MarkClean(d) {
+				drained++
+			}
+		}
+	}
+	return FlushResult{Drained: drained, DirtyAfter: ft.pool.DirtyCount()}
+}
+
+func TestFlusherIntervalTrigger(t *testing.T) {
+	p := New(64, bs)
+	ft := &fakeTarget{pool: p}
+	fl := NewFlusher(ft, p, 1000, 1<<40, sim.NewCtx(99, 0))
+	if fl.MaybeRun(999) {
+		t.Fatal("must not fire before the interval")
+	}
+	if !fl.MaybeRun(1000) {
+		t.Fatal("must fire at the interval")
+	}
+	if ft.passes != 1 {
+		t.Fatalf("passes=%d, want 1", ft.passes)
+	}
+}
+
+func TestFlusherWatermarkTrigger(t *testing.T) {
+	p := New(64, bs)
+	ft := &fakeTarget{pool: p}
+	fl := NewFlusher(ft, p, 1<<40, 2, sim.NewCtx(99, 0))
+	p.Install(0, 0, filled(1), true)
+	if fl.MaybeRun(0) {
+		t.Fatal("below watermark, frozen clock: must not fire")
+	}
+	p.Install(0, 1, filled(2), true)
+	// Virtual time never advances (the ZeroCosts/torture regime) — the
+	// watermark alone must trigger the drain.
+	if !fl.MaybeRun(0) {
+		t.Fatal("at watermark the flusher must fire even at now=0")
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("pass must have drained the pool")
+	}
+	if fl.Drained() != 2 {
+		t.Fatalf("Drained=%d, want 2", fl.Drained())
+	}
+}

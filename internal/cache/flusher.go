@@ -1,0 +1,136 @@
+// The flusher is the write-back drain companion to the frame pool: the
+// donated-goroutine scheduler (same shape as internal/cleaner) that turns
+// dirty DRAM frames back into durable shadow-log commits. Like the cleaner,
+// it has no free-running thread — foreground workers call MaybeRun after
+// each operation and the first to notice either trigger donates its
+// goroutine, with the pass's media work charged to the flusher's private
+// context.
+//
+// Two triggers, because the torture harness runs under sim.ZeroCosts where
+// virtual time never advances: an interval in virtual nanoseconds (the
+// steady-state cadence) and a dirty-frame watermark (fires regardless of
+// the clock once enough acked write-back data is buffered). Either alone
+// would be wrong — interval-only never drains under frozen time,
+// watermark-only lets a trickle of dirty frames sit forever.
+package cache
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"mgsp/internal/obs"
+	"mgsp/internal/sim"
+)
+
+// FlushResult reports one drain pass.
+type FlushResult struct {
+	// Drained counts frames made durable and marked clean by the pass.
+	Drained int64
+	// DirtyAfter is the pool's dirty-frame count when the pass finished —
+	// nonzero when frames were re-dirtied mid-drain or a file's drain failed.
+	DirtyAfter int64
+}
+
+// FlushTarget is the file system the flusher drives (implemented by
+// core.FS): one pass drains every file that owns dirty frames, batching
+// per-file block runs into WriteMulti through the shadow-log commit path.
+type FlushTarget interface {
+	FlushPass(ctx *sim.Ctx) FlushResult
+}
+
+// Flusher schedules drain passes in virtual time. At most one pass runs at
+// once; concurrent MaybeRun callers return immediately.
+type Flusher struct {
+	target    FlushTarget
+	pool      *Pool
+	interval  int64
+	watermark int64
+	ctx       *sim.Ctx
+
+	running atomic.Bool
+	nextAt  atomic.Int64
+
+	passes  atomic.Int64
+	drained atomic.Int64
+}
+
+// NewFlusher builds a flusher over target draining pool. interval is the
+// virtual-time period between passes; watermark (≥1 enforced) is the dirty
+// frame count that triggers an immediate pass. ctx is the flusher's private
+// context (its clock, and media tally for attribution).
+func NewFlusher(target FlushTarget, pool *Pool, interval, watermark int64, ctx *sim.Ctx) *Flusher {
+	if watermark < 1 {
+		watermark = 1
+	}
+	f := &Flusher{target: target, pool: pool, interval: interval, watermark: watermark, ctx: ctx}
+	f.nextAt.Store(interval)
+	return f
+}
+
+// MaybeRun runs one drain pass if the interval has elapsed at virtual time
+// now or the pool is at the dirty watermark. Cheap when neither holds.
+// Reports whether a pass ran.
+func (f *Flusher) MaybeRun(now int64) bool {
+	if now < f.nextAt.Load() && f.pool.dirty.Load() < f.watermark {
+		return false
+	}
+	if !f.running.CompareAndSwap(false, true) {
+		return false
+	}
+	defer f.running.Store(false)
+	if now < f.nextAt.Load() && f.pool.dirty.Load() < f.watermark {
+		return false // another pass got here first
+	}
+	f.run(now)
+	return true
+}
+
+// Force runs a pass unconditionally (Fsync-independent tests and tools),
+// waiting out any pass already in flight.
+func (f *Flusher) Force(now int64) {
+	for !f.running.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	defer f.running.Store(false)
+	f.run(now)
+}
+
+func (f *Flusher) run(now int64) {
+	if now > f.ctx.Now() {
+		f.ctx.AdvanceTo(now)
+	}
+	res := f.target.FlushPass(f.ctx)
+	f.passes.Add(1)
+	f.drained.Add(res.Drained)
+	f.nextAt.Store(f.ctx.Now() + f.interval)
+}
+
+// Passes returns the number of drain passes run.
+func (f *Flusher) Passes() int64 { return f.passes.Load() }
+
+// Drained returns the cumulative frames made durable by drain passes.
+func (f *Flusher) Drained() int64 { return f.drained.Load() }
+
+// Watermark returns the dirty-frame trigger threshold.
+func (f *Flusher) Watermark() int64 { return f.watermark }
+
+// Ctx returns the flusher's private context.
+func (f *Flusher) Ctx() *sim.Ctx { return f.ctx }
+
+// MediaWriteBytes returns the media write traffic attributed to the
+// flusher's context (0 when no tally is attached) — the write-back drain
+// share of total media traffic.
+func (f *Flusher) MediaWriteBytes() int64 {
+	if f.ctx.Tally == nil {
+		return 0
+	}
+	return f.ctx.Tally.WriteBytes.Load()
+}
+
+// Register publishes the flusher's scheduling view into r under prefix
+// (core uses "flusher."): pass/drain counters and attributed media bytes.
+func (f *Flusher) Register(r *obs.Registry, prefix string) {
+	r.RegisterFunc(prefix+"passes", func() float64 { return float64(f.passes.Load()) })
+	r.RegisterFunc(prefix+"drained", func() float64 { return float64(f.drained.Load()) })
+	r.RegisterFunc(prefix+"media_write_bytes", func() float64 { return float64(f.MediaWriteBytes()) })
+}

@@ -32,6 +32,23 @@ func TestBatteryDegree4(t *testing.T) {
 	})
 }
 
+func TestBatteryCacheWriteThrough(t *testing.T) {
+	o := DefaultOptions()
+	o.CacheFrames = 64
+	fstest.Run(t, func(t *testing.T) vfs.FS {
+		return MustNew(nvm.New(128<<20, sim.ZeroCosts()), o)
+	})
+}
+
+func TestBatteryCacheWriteBack(t *testing.T) {
+	o := DefaultOptions()
+	o.CacheFrames = 64
+	o.WriteBack = true
+	fstest.Run(t, func(t *testing.T) vfs.FS {
+		return MustNew(nvm.New(128<<20, sim.ZeroCosts()), o)
+	})
+}
+
 func TestBatteryFixedGranularity(t *testing.T) {
 	o := DefaultOptions()
 	o.MultiGranularity = false

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mgsp/internal/cache"
 	"mgsp/internal/cleaner"
 	"mgsp/internal/nvm"
 	"mgsp/internal/obs"
@@ -18,6 +19,16 @@ const metaLogEntries = 128 // power of two; 32 entries per 4 KiB area
 // context, far above any foreground worker id so lock bookings and media
 // attribution never collide with user operations.
 const cleanerWorker = 1 << 20
+
+// flusherWorker is the sim worker id of the write-back flusher's private
+// context (see internal/cache), distinct from every foreground worker and
+// from the cleaner.
+const flusherWorker = 1 << 21
+
+// defaultFlushInterval is the write-back drain cadence when Options leaves
+// FlushInterval zero: 100 µs of virtual time, a handful of foreground ops at
+// simulated NVM latencies.
+const defaultFlushInterval = 100_000
 
 // MetaBytes returns the metadata reservation MGSP needs on a device of the
 // given size: the lock-free metadata log, the checkpoint cell, plus the node
@@ -51,6 +62,13 @@ type FS struct {
 	cleanGen  atomic.Int64 // cleaner pass generation, for node coldness
 	cleanName string       // resume cursor: next file name ...
 	cleanOff  int64        // ... and offset within it
+
+	// pcache is the volatile DRAM frame tier (nil when CacheFrames is 0);
+	// flusher is its write-back drain scheduler (nil unless WriteBack).
+	// Neither holds any persistent state: Mount always starts them empty,
+	// so recovery is cache-independent by construction (DESIGN.md §13).
+	pcache  *cache.Pool
+	flusher *cache.Flusher
 
 	// snapSeq is the global snapshot sequence: every snapshot takes a fresh
 	// id from it, and every node record stores the value current at its
@@ -151,6 +169,24 @@ func mkFS(prov *pmfile.Provider, opts Options) *FS {
 		}, cctx)
 		fs.cleaner.Register(fs.obsReg, "cleaner.")
 	}
+	if opts.CacheFrames > 0 {
+		fs.pcache = cache.New(opts.CacheFrames, LeafSpan)
+		fs.pcache.Register(fs.obsReg, "cache.")
+		if opts.WriteBack {
+			interval := opts.FlushInterval
+			if interval == 0 {
+				interval = defaultFlushInterval
+			}
+			// Watermark at a quarter of the pool: the flusher fires early once
+			// enough acked data is buffered, which also keeps write-back live
+			// under frozen virtual time (sim.ZeroCosts, the torture harness).
+			watermark := int64(fs.pcache.Frames() / 4)
+			fctx := sim.NewCtx(flusherWorker, 0)
+			fctx.Tally = &sim.MediaTally{}
+			fs.flusher = cache.NewFlusher(fs, fs.pcache, interval, watermark, fctx)
+			fs.flusher.Register(fs.obsReg, "flusher.")
+		}
+	}
 	return fs
 }
 
@@ -199,6 +235,12 @@ func (fs *FS) Device() *nvm.Device { return fs.dev }
 // Options returns the configuration in effect.
 func (fs *FS) Options() Options { return fs.opts }
 
+// Cache returns the DRAM frame pool, nil when the cache tier is disabled.
+func (fs *FS) Cache() *cache.Pool { return fs.pcache }
+
+// Flusher returns the write-back drain scheduler, nil unless WriteBack.
+func (fs *FS) Flusher() *cache.Flusher { return fs.flusher }
+
 // Consistency implements vfs.Guarantees: every MGSP operation is a
 // synchronized atomic operation (§IV-A).
 func (fs *FS) Consistency() vfs.ConsistencyLevel { return vfs.OpAtomic }
@@ -216,6 +258,12 @@ type file struct {
 	treeMu sim.Mutex // tree structure growth, record/log creation
 	sizeMu sim.Mutex // size extension
 	size   atomic.Int64
+
+	// flushMu serializes write-back drains against direct (media-committing)
+	// writes of this file, so a drain can never overwrite a newer committed
+	// block with stale frame content. Only taken when the flusher exists;
+	// ordered after fs.mu release and before node locks / sizeMu.
+	flushMu sim.Mutex
 
 	flock sim.RWMutex // used in LockFile mode
 
@@ -274,6 +322,12 @@ func (fs *FS) Create(ctx *sim.Ctx, name string) (vfs.File, error) {
 			defer f.sizeMu.Unlock(ctx)
 		}
 		f.discardTree(ctx)
+		if fs.pcache != nil {
+			// The file keeps its pm slot but loses all content; cached frames
+			// (including unsynced write-back data — Create destroys it at the
+			// file level anyway) no longer describe it.
+			fs.pcache.InvalidateSlot(f.pf.Slot())
+		}
 		if _, err := fs.prov.Create(ctx, name); err != nil {
 			return nil, err
 		}
@@ -319,6 +373,13 @@ func (fs *FS) Remove(ctx *sim.Ctx, name string) error {
 	f.removed = true
 	if f.refs.Load() == 0 {
 		f.discardTree(ctx)
+	}
+	if fs.pcache != nil {
+		// prov.Remove frees the pm slot immediately (even with open handles),
+		// and Create reuses the lowest free slot — stale frames keyed by this
+		// slot would leak into the next file. Dirty frames dropped here were
+		// acked-but-unsynced write-back data of a now-removed file.
+		fs.pcache.InvalidateSlot(f.pf.Slot())
 	}
 	return fs.prov.Remove(ctx, name)
 }
@@ -387,6 +448,13 @@ func (h *handle) Fsync(ctx *sim.Ctx) error {
 	}
 	fs := h.f.fs
 	start := ctx.Now()
+	if fs.flusher != nil {
+		// Fsync is the write-back durability point: drain this file's dirty
+		// frames through the shadow-log commit path before fencing.
+		if err := h.f.drainFile(ctx); err != nil {
+			return err
+		}
+	}
 	fs.dev.Fence(ctx)
 	dur := ctx.Now() - start
 	fs.hFsync.Observe(dur)
@@ -403,6 +471,13 @@ func (h *handle) Close(ctx *sim.Ctx) error {
 	h.closed = true
 	f := h.f
 	ctx.Advance(f.fs.costs.Syscall)
+	if f.fs.flusher != nil {
+		// Close is a durability point too (lastRefGone writes the tree back);
+		// drain before fs.mu — drains take node locks, never fs.mu.
+		if err := f.drainFile(ctx); err != nil {
+			return err
+		}
+	}
 	f.fs.mu.Lock(ctx)
 	defer f.fs.mu.Unlock(ctx)
 	if f.refs.Add(-1) == 0 {
@@ -431,6 +506,14 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 		return ErrHasSnapshots
 	}
 	ctx.Advance(f.fs.costs.Syscall + f.fs.costs.VFSOp)
+	if f.fs.flusher != nil {
+		// Make buffered write-back data durable before resizing: a shrink
+		// must not lose acked writes below the new size. Drain takes node
+		// locks and therefore runs before sizeMu (write-path lock order).
+		if err := f.drainFile(ctx); err != nil {
+			return err
+		}
+	}
 	f.sizeMu.Lock(ctx)
 	defer f.sizeMu.Unlock(ctx)
 	old := f.size.Load()
@@ -459,6 +542,12 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 	}
 	f.size.Store(size)
 	f.pf.SetSize(ctx, size)
+	if f.fs.pcache != nil {
+		// Frames covering vacated blocks are stale (a later regrowth must
+		// read zeros); dropping the whole slot is the simple safe choice for
+		// this rare control-plane op. All dirty data was drained above.
+		f.fs.pcache.InvalidateSlot(f.pf.Slot())
+	}
 	return nil
 }
 

@@ -70,6 +70,27 @@ type Options struct {
 	// unbounded pass; negative values are invalid. Ignored while
 	// CleanerInterval is zero.
 	CleanerBudget int64
+	// CacheFrames enables the DRAM page-cache tier (internal/cache, DESIGN.md
+	// §13) with at least that many 4 KiB frames (rounded up to the pool's set
+	// geometry). Reads hit frames via the optimistic latch-free protocol
+	// instead of the media; committed writes keep frames coherent. Zero
+	// disables the cache — every ablation and recovery path is bit-identical
+	// to the uncached system. Negative values are invalid.
+	CacheFrames int
+	// WriteBack relaxes single-block overwrites to cache-buffered
+	// acknowledgements: the write lands in a dirty frame and becomes durable
+	// when the background flusher drains it through WriteMulti, at Fsync, or
+	// at Close — the explicit-sync contract mmap/msync applications already
+	// live with. Crash consistency is unchanged (drains commit through the
+	// shadow log; a torn drain is indistinguishable from unbatched writes),
+	// only the durability point of unsynced writes moves. Requires
+	// CacheFrames > 0. False keeps strict write-through.
+	WriteBack bool
+	// FlushInterval is the virtual-time period (nanoseconds) between
+	// write-back flusher passes; the flusher also fires early when a quarter
+	// of the pool is dirty. Zero means a 100 µs default; negative values are
+	// invalid. Ignored unless WriteBack is set.
+	FlushInterval int64
 }
 
 // DefaultOptions returns the full MGSP configuration evaluated in the paper.
@@ -99,6 +120,15 @@ func (o Options) validate() error {
 	}
 	if o.CleanerBudget < 0 {
 		return fmt.Errorf("core: CleanerBudget %d must not be negative", o.CleanerBudget)
+	}
+	if o.CacheFrames < 0 {
+		return fmt.Errorf("core: CacheFrames %d must not be negative", o.CacheFrames)
+	}
+	if o.FlushInterval < 0 {
+		return fmt.Errorf("core: FlushInterval %d must not be negative", o.FlushInterval)
+	}
+	if o.WriteBack && o.CacheFrames == 0 {
+		return fmt.Errorf("core: WriteBack requires CacheFrames > 0")
 	}
 	return nil
 }

@@ -30,10 +30,34 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	fs.stats.UserReadBytes.Add(int64(n))
 	end := off + int64(n)
+
+	// Cache tier (DESIGN.md §13). Single-block reads try the optimistic
+	// latch-free frame probe first: hit means one DRAM copy instead of a tree
+	// walk plus media reads. A multi-block read under write-back must drain
+	// first — dirty frames may hold acked data newer than the media the tree
+	// walk below would read.
+	block := off / LeafSpan
+	single := fs.pcache != nil && end <= (block+1)*LeafSpan
+	if single {
+		if fs.pcache.Read(f.pf.Slot(), block, p[:n], int(off-block*LeafSpan)) {
+			ctx.Advance(fs.costs.IndexStep + fs.costs.DRAMCopyCost(n))
+			dur := ctx.Now() - began
+			fs.hRead.Observe(dur)
+			fs.trace.Record(ctx.ID, obs.OpRead, f.pf.Slot(), off, int64(n), dur)
+			return n, nil
+		}
+	} else if fs.flusher != nil && fs.pcache.DirtyCount() > 0 {
+		if err := f.drainFile(ctx); err != nil {
+			return 0, err
+		}
+	}
+
 	root := f.root.Load()
 	if root == nil {
 		// Nothing was ever written through MGSP in this incarnation; the
-		// file itself is the only source.
+		// file itself is the only source. No frame install here: this path
+		// holds no locks, so a fill could clobber a racing writer's newer
+		// frame content.
 		f.pf.DirectRead(ctx, p[:n], off)
 		dur := ctx.Now() - began
 		fs.hRead.Observe(dur)
@@ -44,7 +68,19 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	start := f.searchStart(ctx, off, end)
 	segs := f.readCover(ctx, start, off, end, nil)
 	locks := f.lockOp(ctx, start, segs, false)
-	f.resolveData(ctx, off, end, p[:n])
+	if single {
+		// Miss fill: resolve the whole block while the R locks pin its
+		// content, install it clean, and serve the request from the copy.
+		// Install refuses to overwrite a present dirty frame, so a buffered
+		// write that slipped in between the probe and here wins.
+		blockLo := block * LeafSpan
+		buf := make([]byte, LeafSpan)
+		f.resolveData(ctx, blockLo, blockLo+LeafSpan, buf)
+		copy(p[:n], buf[off-blockLo:])
+		fs.pcache.Install(f.pf.Slot(), block, buf, false)
+	} else {
+		f.resolveData(ctx, off, end, p[:n])
+	}
 	f.release(ctx, locks)
 	f.updateMinSearch(off, end)
 	dur := ctx.Now() - began

@@ -42,13 +42,39 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	// (LIFO defers), see WriteAt.
 	fs.inFlight.Add(1)
 	defer fs.opExit(ctx)
+	if fs.flusher != nil {
+		// Same drain exclusion as WriteAt's direct path.
+		f.flushMu.Lock(ctx)
+		defer f.flushMu.Unlock(ctx)
+	}
+	var lo, maxEnd int64
+	var err error
+	if lo, maxEnd, err = f.writeMulti(ctx, updates, true); err != nil {
+		return err
+	}
+	f.updateMinSearch(lo, maxEnd)
+	dur := ctx.Now() - began
+	fs.hWritev.Observe(dur)
+	fs.trace.Record(ctx.ID, obs.OpWriteMulti, f.pf.Slot(), lo, maxEnd-lo, dur)
+	return nil
+}
 
+// writeMulti is the shared multi-range commit body, also the write-back
+// drain's door into the shadow-log protocol (internal/cache batches dirty
+// frames here — DESIGN.md §13). acct distinguishes user calls (frame
+// patching; the wrapper above did the stats) from drains (content came FROM
+// the frames, nothing to patch; drain media traffic is attributed via the
+// flusher's ctx.Tally, not the user counters). Callers own the in-flight
+// window and — under write-back — flushMu; this function manages neither.
+// Returns the op's extent [lo, maxEnd) for the caller's bookkeeping.
+func (f *file) writeMulti(ctx *sim.Ctx, updates []Update, acct bool) (int64, int64, error) {
+	fs := f.fs
 	// Validate and find the op's extent.
 	var maxEnd int64
 	lo := updates[0].Off
 	for _, u := range updates {
 		if u.Off < 0 {
-			return fmt.Errorf("core: negative offset %d", u.Off)
+			return 0, 0, fmt.Errorf("core: negative offset %d", u.Off)
 		}
 		if end := u.Off + int64(len(u.Data)); end > maxEnd {
 			maxEnd = end
@@ -60,12 +86,12 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	for i, u := range updates {
 		for _, v := range updates[i+1:] {
 			if u.Off < v.Off+int64(len(v.Data)) && v.Off < u.Off+int64(len(u.Data)) {
-				return fmt.Errorf("core: overlapping updates at %d and %d", u.Off, v.Off)
+				return 0, 0, fmt.Errorf("core: overlapping updates at %d and %d", u.Off, v.Off)
 			}
 		}
 	}
 	if err := f.pf.EnsureCapacity(ctx, maxEnd); err != nil {
-		return err
+		return 0, 0, err
 	}
 	f.ensureTree(ctx, f.pf.Capacity())
 
@@ -123,7 +149,7 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 		} else {
 			w, c, err := f.planInterior(ctx, p.seg, p.data)
 			if err != nil {
-				return err
+				return 0, 0, err
 			}
 			writes = append(writes, w)
 			changes = append(changes, c)
@@ -133,7 +159,7 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 		var err error
 		writes, changes, err = f.planLeafRanges(ctx, n, leafRanges[n], writes, changes)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 	}
 	for _, w := range writes {
@@ -160,11 +186,14 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 		}()
 	}
 	fs.mlog.retire(ctx, entry)
-	f.updateMinSearch(lo, maxEnd)
-	dur := ctx.Now() - began
-	fs.hWritev.Observe(dur)
-	fs.trace.Record(ctx.ID, obs.OpWriteMulti, f.pf.Slot(), lo, maxEnd-lo, dur)
-	return nil
+	if acct && fs.pcache != nil {
+		// Committed: bring overlapping frames up to date while the W locks
+		// still exclude readers (release is deferred).
+		for _, u := range updates {
+			f.patchFrames(u.Data, u.Off)
+		}
+	}
+	return lo, maxEnd, nil
 }
 
 func sortSegments(segs []segment) {

@@ -1,0 +1,118 @@
+package torture
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTortureFlusherSweepConcurrent is the flusher-active gate: 4 seeds x 50
+// sampled crash indices (200 points, plus a completion run per seed) with the
+// write-back cache armed — 4 writer goroutines issuing optimistic frame reads
+// against buffered writes while the watermark-driven flusher drains dirty
+// frames on donated goroutines, so crashes land mid-drain too. Zero
+// violations allowed: no torn frame copy, no read-your-writes miss on the
+// private regions, and recovery must explain every region without ever
+// depending on cache state.
+func TestTortureFlusherSweepConcurrent(t *testing.T) {
+	const (
+		seeds   = 4
+		samples = 50
+	)
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Writers: 4, Seed: int64(s), Flusher: true}
+			res, err := Sweep(cfg, samples, int64(s)*99991+23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Samples != samples {
+				t.Fatalf("ran %d samples, want %d", res.Samples, samples)
+			}
+			if res.Crashed == 0 {
+				t.Fatalf("no sampled crash index hit the fail point (range %d)", res.TotalOps)
+			}
+			t.Logf("media-op range %d: %d crashed, %d completed past the workload",
+				res.TotalOps, res.Crashed, res.Completed)
+			for _, v := range res.Violations {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestTortureFlusherSweepSerial covers the deterministic mode with the
+// flusher armed: drains run on donated foreground goroutines, so the serial
+// media-op stream — crash placement included — stays a pure function of the
+// config and every flusher-mode repro line replays bit-identically.
+func TestTortureFlusherSweepSerial(t *testing.T) {
+	cfg := Config{Writers: 4, Seed: 13, Serial: true, Flusher: true}
+	res, err := Sweep(cfg, 25, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed == 0 {
+		t.Fatal("no sampled crash index hit the fail point")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestTortureFlusherSerialDeterministic pins the replay contract for flusher
+// mode: two serial runs of the same parameters produce the same media-op
+// stream and schedule even though background drains interleave with the
+// workload.
+func TestTortureFlusherSerialDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Replay(21, 4, 25, 200, false, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Crashed || !b.Crashed {
+		t.Fatalf("expected both runs to crash (a=%v b=%v); pick a smaller crash index", a.Crashed, b.Crashed)
+	}
+	if a.CrashOp != b.CrashOp || a.CrashWorker != b.CrashWorker || a.MediaOps != b.MediaOps {
+		t.Fatalf("flusher serial replay diverged: crashOp %d/%d, crashWorker %d/%d, mediaOps %d/%d",
+			a.CrashOp, b.CrashOp, a.CrashWorker, b.CrashWorker, a.MediaOps, b.MediaOps)
+	}
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Fatalf("flusher serial replay schedules diverged:\n%s\nvs\n%s", a.Schedule, b.Schedule)
+	}
+	failViolations(t, a)
+}
+
+// TestTortureFlusherTracesRead proves the flusher-mode workload actually
+// exercises the read oracle: the generated traces must contain reads and
+// private-region writes for every writer, and a completion run must come back
+// clean.
+func TestTortureFlusherTracesRead(t *testing.T) {
+	cfg := Config{Writers: 4, Seed: 2, Flusher: true}.withDefaults()
+	tr := traces(cfg)
+	for w, ops := range tr {
+		reads, privWrites := 0, 0
+		for _, o := range ops {
+			switch {
+			case o.kind == opRead:
+				reads++
+			case o.kind == opWrite && o.regions[0] == cfg.privateRegion(w):
+				privWrites++
+			}
+		}
+		if reads == 0 {
+			t.Errorf("writer %d trace has no reads", w)
+		}
+		if privWrites == 0 {
+			t.Errorf("writer %d trace has no private-region writes", w)
+		}
+	}
+	res, err := Run(Config{Writers: 4, Seed: 2, Flusher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failViolations(t, res)
+}

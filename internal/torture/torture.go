@@ -59,10 +59,19 @@ type Config struct {
 
 	// Op mix: roughly one in every N ops (0 = default, negative disables).
 	// The defaults are part of the replay contract — a repro line encodes
-	// only (seed, writers, ops, crash, torn), so every run uses the same mix.
+	// only (seed, writers, ops, crash, torn, flusher), so every run uses the
+	// same mix.
 	FsyncEvery int // default 8
 	SnapEvery  int // default 10
 	MultiEvery int // default 6
+	ReadEvery  int // flusher mode: cache-side ops (reads + private writes), default 3
+
+	// Flusher arms the cache/write-back path: the FS mounts with a small
+	// DRAM frame pool in write-back mode, traces gain ReadAt ops (racing the
+	// optimistic frame reads against buffered writes and background drains),
+	// and each writer gets a private region checked live for
+	// read-your-writes. Crash indices then also sample the flusher mid-drain.
+	Flusher bool
 
 	// InjectTorn makes writer 0's last op deliberately violate op atomicity
 	// (it writes half of a reserved region while the oracle is told the
@@ -99,8 +108,20 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MultiEvery == 0 {
 		cfg.MultiEvery = 6
 	}
+	if cfg.ReadEvery == 0 {
+		cfg.ReadEvery = 3
+	}
 	if cfg.Opts.Degree == 0 {
 		cfg.Opts = core.DefaultOptions()
+	}
+	if cfg.Flusher && cfg.Opts.CacheFrames == 0 {
+		// A deliberately tiny pool: evictions and all-dirty backpressure are
+		// part of what the sweep exercises. Under the frozen ZeroCosts clock
+		// the interval never fires, so drains come from the dirty watermark
+		// (Frames/4) — racing the foreground exactly where crashes hurt.
+		cfg.Opts.CacheFrames = 8
+		cfg.Opts.WriteBack = true
+		cfg.Opts.FlushInterval = 1
 	}
 	if cfg.DevSize == 0 {
 		cfg.DevSize = 4 << 20
@@ -121,12 +142,25 @@ func (cfg Config) check() error {
 	return nil
 }
 
-// fileSize covers the oracle regions plus the reserved torn-injection
-// region.
-func (cfg Config) fileSize() int64 { return int64(cfg.Regions+1) * cfg.RegionSize }
+// fileSize covers every oracle region: the shared ones, the reserved
+// torn-injection region, and (in flusher mode) one private region per writer.
+func (cfg Config) fileSize() int64 { return int64(cfg.totalRegions()) * cfg.RegionSize }
 
-// totalRegions includes the reserved region so the oracle scans it too.
-func (cfg Config) totalRegions() int { return cfg.Regions + 1 }
+// totalRegions includes the reserved region — and the per-writer private
+// regions in flusher mode — so the oracle scans them too.
+func (cfg Config) totalRegions() int {
+	n := cfg.Regions + 1
+	if cfg.Flusher {
+		n += cfg.Writers
+	}
+	return n
+}
+
+// privateRegion is writer w's read-your-writes region (flusher mode): nobody
+// else writes it, so a read by w must observe exactly w's last acked write —
+// buffered in a DRAM frame or already drained, the distinction must be
+// invisible.
+func (cfg Config) privateRegion(w int) int { return cfg.Regions + 1 + w }
 
 type opKind uint8
 
@@ -136,6 +170,7 @@ const (
 	opFsync
 	opSnap
 	opDrop
+	opRead
 )
 
 func (k opKind) String() string {
@@ -150,6 +185,8 @@ func (k opKind) String() string {
 		return "snap"
 	case opDrop:
 		return "drop"
+	case opRead:
+		return "read"
 	}
 	return "?"
 }
@@ -177,6 +214,18 @@ func traces(cfg Config) [][]op {
 				// violation depends only on whether this op ran, not on the
 				// interleaving.
 				ops = append(ops, op{kind: opWrite, regions: []int{cfg.Regions}, torn: true})
+			case cfg.Flusher && cfg.ReadEvery > 0 && rng.Intn(cfg.ReadEvery) == 0:
+				// Cache-side ops. The && short-circuits, so non-flusher runs
+				// draw the exact same rng stream as before — the replay
+				// contract for existing repro lines is untouched.
+				switch rng.Intn(3) {
+				case 0:
+					ops = append(ops, op{kind: opWrite, regions: []int{cfg.privateRegion(w)}})
+				case 1:
+					ops = append(ops, op{kind: opRead, regions: []int{cfg.privateRegion(w)}})
+				default:
+					ops = append(ops, op{kind: opRead, regions: []int{rng.Intn(cfg.Regions)}})
+				}
 			case cfg.FsyncEvery > 0 && rng.Intn(cfg.FsyncEvery) == 0:
 				ops = append(ops, op{kind: opFsync})
 			case cfg.SnapEvery > 0 && rng.Intn(cfg.SnapEvery) == 0:
@@ -240,13 +289,16 @@ type multiWriter interface {
 	WriteMulti(ctx *sim.Ctx, updates []core.Update) error
 }
 
-// runCtx carries one run's live objects.
+// runCtx carries one run's live objects. lastPriv[w] is the stamp of writer
+// w's last acked private-region write; it is only ever touched from w's own
+// goroutine (its writes and its reads), so it needs no synchronization.
 type runCtx struct {
-	cfg Config
-	dev *nvm.Device
-	fs  *core.FS
-	st  *state
-	tr  [][]op
+	cfg      Config
+	dev      *nvm.Device
+	fs       *core.FS
+	st       *state
+	tr       [][]op
+	lastPriv []uint64
 }
 
 // prepare builds the device, formats the FS, lays out the shared file, and
@@ -268,7 +320,8 @@ func prepare(cfg Config) (*runCtx, *sim.Ctx, vfs.File, error) {
 	if err := h.Fsync(setup); err != nil {
 		return nil, nil, nil, err
 	}
-	r := &runCtx{cfg: cfg, dev: dev, fs: fs, st: newState(cfg), tr: traces(cfg)}
+	r := &runCtx{cfg: cfg, dev: dev, fs: fs, st: newState(cfg), tr: traces(cfg),
+		lastPriv: make([]uint64, cfg.Writers)}
 	return r, setup, h, nil
 }
 
@@ -374,6 +427,9 @@ func Run(cfg Config) (*Result, error) {
 	for _, err := range st.takeErrs() {
 		res.addViolation(cfg, "op-error", -1, err.Error())
 	}
+	for _, v := range st.takeVios() {
+		res.addViolation(cfg, v.kind, v.region, v.detail)
+	}
 	return res, nil
 }
 
@@ -470,6 +526,9 @@ func (r *runCtx) exec(ctx *sim.Ctx, w, i int, o op, h vfs.File) {
 			return
 		}
 		st.sched.End(e.span, ops())
+		if r.cfg.Flusher && o.regions[0] == r.cfg.privateRegion(w) {
+			r.lastPriv[w] = stamp(w, i, o.regions[0])
+		}
 
 	case opMulti:
 		e := st.beginOp(w, i, o, ops())
@@ -519,6 +578,49 @@ func (r *runCtx) exec(ctx *sim.Ctx, w, i int, o op, h vfs.File) {
 		sh.Close(ctx)
 		st.completeSnap(sr, img)
 		st.sched.End(sp, ops())
+
+	case opRead:
+		reg := o.regions[0]
+		sp := st.sched.Begin(w, i, o.kind.String(), ops())
+		buf := make([]byte, r.cfg.RegionSize)
+		if _, err := h.ReadAt(ctx, buf, int64(reg)*r.cfg.RegionSize); err != nil {
+			st.noteErr(fmt.Errorf("writer %d op %d read: %w", w, i, err))
+			return
+		}
+		st.sched.End(sp, ops())
+		// Live read oracle. Region writes commit atomically with respect to
+		// readers (node locks on the media path, the seqlock on the frame
+		// path), so a read must return one whole op image — mixed stamps mean
+		// a torn frame copy.
+		first := getLE64(buf)
+		for off := 8; off+8 <= len(buf); off += 8 {
+			if v := getLE64(buf[off:]); v != first {
+				st.noteVio("read-torn", reg, fmt.Sprintf(
+					"writer %d op %d read a torn region: word[0]=%#x word[%d]=%#x",
+					w, i, first, off/8, v))
+				return
+			}
+		}
+		switch {
+		case reg > r.cfg.Regions:
+			// Private region: only this writer touches it, and the read is
+			// program-ordered after the write, so acked content must be
+			// visible — whether it sits in a dirty frame or already drained.
+			if want := r.lastPriv[w]; first != want {
+				st.noteVio("read-your-writes", reg, fmt.Sprintf(
+					"writer %d op %d read stamp %#x from its private region, want %#x",
+					w, i, first, want))
+			}
+		case first != 0:
+			// Shared region: any committed stamp is fine, but it must be a
+			// well-formed stamp addressed to this region — anything else is a
+			// misdirected or half-patched frame.
+			if first>>56 != 0xA5 || first&0xFF != 0x5A || int(first>>8&0xFFFF) != reg {
+				st.noteVio("read-misdirected", reg, fmt.Sprintf(
+					"writer %d op %d read stamp %#x not addressed to region %d",
+					w, i, first, reg))
+			}
+		}
 
 	case opDrop:
 		sr := st.claimDropVictim()

@@ -15,6 +15,7 @@ var (
 	replayOps     = flag.Int("torture.ops", 25, "replay: ops per writer")
 	replayCrash   = flag.Int64("torture.crash", 0, "replay: media-op crash index (0 = run to completion)")
 	replayTorn    = flag.Bool("torture.torn", false, "replay: inject the deliberate torn write")
+	replayFlusher = flag.Bool("torture.flusher", false, "replay: run with the write-back cache and flusher armed")
 )
 
 func failViolations(t *testing.T, res *Result) {
@@ -34,7 +35,7 @@ func failViolations(t *testing.T, res *Result) {
 // It is the target of every repro line: a violation found anywhere replays
 // here bit-identically and fails the test with the same report.
 func TestTortureReplay(t *testing.T) {
-	res, err := Replay(*replaySeed, *replayWriters, *replayOps, *replayCrash, *replayTorn)
+	res, err := Replay(*replaySeed, *replayWriters, *replayOps, *replayCrash, *replayTorn, *replayFlusher)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestTortureSweepSerial(t *testing.T) {
 // and leave the same schedule.
 func TestTortureSerialDeterministic(t *testing.T) {
 	run := func() *Result {
-		res, err := Replay(42, 4, 25, 300, false)
+		res, err := Replay(42, 4, 25, 300, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestTortureSerialDeterministic(t *testing.T) {
 // violation carries a replayable repro line, and two replays of that line's
 // parameters reproduce the identical report.
 func TestTortureCatchesInjectedTear(t *testing.T) {
-	res, err := Replay(5, 4, 25, 0, true)
+	res, err := Replay(5, 4, 25, 0, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestTortureCatchesInjectedTear(t *testing.T) {
 	t.Logf("caught: %s", torn)
 
 	// The repro line replays bit-identically.
-	again, err := Replay(5, 4, 25, 0, true)
+	again, err := Replay(5, 4, 25, 0, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
