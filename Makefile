@@ -72,11 +72,14 @@ bench-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# The instrumented core + mixed experiments at quick scale, emitting the
-# full obs payload (throughput, latency quantiles, WA ratio, contention
-# counters, cache-tier hit/miss/flush counters per read/write ratio).
+# The instrumented core + mixed + many-core ladder experiments at quick
+# scale, emitting the full obs payload (throughput, latency quantiles, WA
+# ratio, contention counters, cache-tier hit/miss/flush counters, fig10s
+# scalability ladder to 4*MaxThreads workers). mgspstat -validate enforces
+# the fig10s disjoint-writer try-fail budget (<= 0.05/op).
 bench-json:
-	$(GO) run ./cmd/mgspbench -exp core,mixed -json BENCH_core.json
+	$(GO) run ./cmd/mgspbench -exp core,mixed,fig10s -json BENCH_core.json
+	$(GO) run ./cmd/mgspstat -validate BENCH_core.json
 
 # The concurrent crash-consistency torture harness on its own: ~200 sampled
 # (seed, crash-index) points with 4 racing writers per run, op-atomicity
@@ -85,11 +88,14 @@ bench-json:
 torture:
 	$(GO) test -race -count=1 ./internal/torture
 
-# Native fuzzing of the metadata-log record decoder: corrupted entries must
-# be rejected by checksum, never replayed, never panic. Short budget by
-# default; raise with e.g. `make fuzz FUZZTIME=5m`.
+# Native fuzzing of the metadata-log decoders: corrupted op entries and
+# per-worker area cursors must be rejected by checksum, never replayed,
+# never panic. Go runs one fuzz target per invocation, so the budget is
+# spent once per decoder. Short budget by default; raise with e.g.
+# `make fuzz FUZZTIME=5m`.
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzDecodeEntry -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='FuzzDecodeEntry$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='FuzzDecodeCursor$$' -fuzztime=$(FUZZTIME) ./internal/core
 
 # Coverage over the crash-consistency core. Keep internal/core above ~80%:
 # uncovered lines there are usually recovery/commit paths that only a new

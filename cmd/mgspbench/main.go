@@ -30,7 +30,7 @@ import (
 	"mgsp/internal/sqlite"
 )
 
-var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core", "mixed", "kv", "ingest"}
+var experiments = []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig10s", "fig11", "fig12", "fig13", "table2", "recovery", "cleaner", "snapshot", "ext-atomic", "torture", "core", "mixed", "kv", "ingest"}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experiments, ",")+" or 'all'")
@@ -115,6 +115,16 @@ func main() {
 			}
 		}
 		return out, nil
+	})
+	run("fig10s", func() ([]*bench.Table, error) {
+		t, m, err := bench.Fig10Scale(sc)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			metrics[k] = v
+		}
+		return []*bench.Table{t}, nil
 	})
 	run("fig11", func() ([]*bench.Table, error) {
 		var out []*bench.Table

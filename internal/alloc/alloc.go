@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"mgsp/internal/sim"
 )
@@ -15,9 +16,34 @@ import (
 // ErrNoSpace is returned when the region cannot satisfy an allocation.
 var ErrNoSpace = errors.New("alloc: out of space")
 
+const (
+	// allocShards is the number of per-worker free-list shards fed by the
+	// global bitmap. Power of two so worker hashes reduce with a mask.
+	allocShards = 16
+	// refillBatch is how many single blocks one global scan pulls into a
+	// shard. The global mutex is a sim.Mutex, so every critical section
+	// books exclusive VIRTUAL time — at 16+ workers a per-op acquisition
+	// serializes the whole fleet no matter how short the real section is.
+	// Batching moves that cost to one booking per refillBatch allocations.
+	refillBatch = 8
+)
+
+// allocShard is one worker-sharded free list: device offsets of single
+// blocks pre-allocated from the global bitmap (bit set, refcount 1) and
+// parked here for lock-free handout. The mutex is a plain sync.Mutex —
+// shard traffic is worker-private by construction, so it models no
+// virtual-time contention; a cached pop charges only the cost model's
+// Atomic latency.
+type allocShard struct {
+	mu   sync.Mutex
+	free []int64
+	_    [40]byte // keep neighboring shards off one cache line
+}
+
 // Allocator hands out fixed-size blocks from a contiguous device region.
 // It is safe for concurrent use; each allocation charges the cost model's
-// BlockAlloc time to the caller.
+// BlockAlloc time to the caller (amortized over a refill batch for
+// single-block allocations, which ride per-worker shard caches).
 type Allocator struct {
 	mu        sim.Mutex
 	start     int64
@@ -28,6 +54,8 @@ type Allocator struct {
 	bitmap    []uint64 // 1 = allocated
 	refs      []uint16 // per-block reference count; nonzero iff bitmap bit set
 	costs     *sim.Costs
+
+	shards [allocShards]allocShard
 }
 
 // New creates an allocator over [start, start+size) with the given block
@@ -62,10 +90,17 @@ func (a *Allocator) Alloc(ctx *sim.Ctx) (int64, error) {
 }
 
 // AllocContig allocates n contiguous blocks and returns the device offset of
-// the first. It uses a next-fit scan from the last allocation point.
+// the first. Multi-block requests use a next-fit scan from the last
+// allocation point under the global lock; single-block requests — the leaf
+// shadow-log hot path — come from the caller's worker shard, refilled in
+// batches so the global lock's virtual-time section is paid once per
+// refillBatch blocks instead of once per op.
 func (a *Allocator) AllocContig(ctx *sim.Ctx, n int64) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("alloc: bad count %d", n)
+	}
+	if n == 1 {
+		return a.allocSingle(ctx)
 	}
 	a.mu.Lock(ctx)
 	defer a.mu.Unlock(ctx)
@@ -80,6 +115,109 @@ func (a *Allocator) AllocContig(ctx *sim.Ctx, n int64) (int64, error) {
 		return a.take(b, n), nil
 	}
 	return 0, ErrNoSpace
+}
+
+// allocSingle pops the worker's shard cache, refilling it from the global
+// bitmap when empty. Cached blocks are already allocated (bitmap bit set,
+// refcount 1), so a hit costs one real mutex — never contended across
+// workers that hash to different shards — plus the Atomic model cost.
+func (a *Allocator) allocSingle(ctx *sim.Ctx) (int64, error) {
+	s := &a.shards[sim.WorkerHash(ctx.ID)&(allocShards-1)]
+	s.mu.Lock()
+	if k := len(s.free); k > 0 {
+		off := s.free[k-1]
+		s.free = s.free[:k-1]
+		s.mu.Unlock()
+		ctx.Advance(a.costs.Atomic)
+		return off, nil
+	}
+	s.mu.Unlock()
+
+	blocks, err := a.allocSingles(ctx, refillBatch)
+	if err != nil {
+		// The global pool may be empty only because other shards are
+		// hoarding; pull their caches back and retry once. Lock order is
+		// safe: Drain takes shard locks with a.mu released, like this path.
+		if errors.Is(err, ErrNoSpace) && a.Drain(ctx) > 0 {
+			blocks, err = a.allocSingles(ctx, 1)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	if len(blocks) > 1 {
+		s.mu.Lock()
+		s.free = append(s.free, blocks[1:]...)
+		s.mu.Unlock()
+	}
+	return blocks[0], nil
+}
+
+// allocSingles takes up to want single blocks from the global bitmap under
+// one lock section and one BlockAlloc charge. Under space pressure it
+// degrades to taking one block so a batch refill cannot starve other
+// workers on a nearly full device.
+func (a *Allocator) allocSingles(ctx *sim.Ctx, want int64) ([]int64, error) {
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	ctx.Advance(a.costs.BlockAlloc)
+	if a.free < want*2 {
+		want = 1
+	}
+	var out []int64
+	for int64(len(out)) < want && a.free > 0 {
+		b, ok := a.scan(a.hint, a.nblocks, 1)
+		if !ok {
+			b, ok = a.scan(0, a.hint, 1)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, a.take(b, 1))
+	}
+	if len(out) == 0 {
+		return nil, ErrNoSpace
+	}
+	return out, nil
+}
+
+// Drain returns every shard-cached block to the global pool and reports how
+// many blocks it released. Offline audits (fsck's leak check walks the
+// trees against the bitmap) and space-pressure recovery call it; cached
+// blocks are allocated-but-unreferenced by design and would otherwise read
+// as leaks or phantom usage.
+func (a *Allocator) Drain(ctx *sim.Ctx) int {
+	var cached []int64
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		cached = append(cached, s.free...)
+		s.free = s.free[:0]
+		s.mu.Unlock()
+	}
+	if len(cached) == 0 {
+		return 0
+	}
+	a.mu.Lock(ctx)
+	defer a.mu.Unlock(ctx)
+	for _, off := range cached {
+		a.unref(a.blockOf(off), off)
+	}
+	return len(cached)
+}
+
+// Cached reports how many blocks are parked in per-worker shard caches:
+// set in the bitmap but logically free. Footprint metrics (the core layer's
+// live log-block count) subtract it so cache residue never reads as usage.
+func (a *Allocator) Cached() int64 {
+	var n int64
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.free))
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // scan searches [lo, hi) for n consecutive free blocks.
@@ -239,6 +377,12 @@ func (a *Allocator) MarkRef(off, n int64) {
 
 // Reset frees every block (between benchmark phases).
 func (a *Allocator) Reset() {
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		s.free = s.free[:0]
+		s.mu.Unlock()
+	}
 	for i := range a.bitmap {
 		a.bitmap[i] = 0
 	}

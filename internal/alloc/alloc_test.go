@@ -29,6 +29,7 @@ func TestAllocFreeRoundTrip(t *testing.T) {
 	if a.Allocated(off) {
 		t.Fatal("block still allocated after free")
 	}
+	a.Drain(ctx) // return the refill batch's cached residue
 	if a.FreeBlocks() != 64 {
 		t.Fatalf("free blocks = %d, want 64", a.FreeBlocks())
 	}
@@ -138,6 +139,7 @@ func TestFreeBulk(t *testing.T) {
 		}
 		exts = append(exts, Extent{Off: off, N: n})
 	}
+	a.Drain(ctx) // the n=1 alloc rode the shard cache; return its batch
 	if a.FreeBlocks() != 64-9 {
 		t.Fatalf("free = %d, want %d", a.FreeBlocks(), 64-9)
 	}
@@ -245,8 +247,83 @@ func TestConcurrentAllocFree(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	a.Drain(sim.NewCtx(0, 0))
 	if a.UsedBlocks() != 0 {
 		t.Fatalf("leak: %d blocks still used", a.UsedBlocks())
+	}
+}
+
+// TestShardCacheRefill verifies the single-block fast path: the first alloc
+// pulls a refill batch into the worker's shard, subsequent allocs are cache
+// hits that touch neither the global lock nor the bitmap scan, and Drain
+// returns exactly the cached residue.
+func TestShardCacheRefill(t *testing.T) {
+	a, ctx := newTestAllocator(0, 64*4096, 4096)
+	first, err := a.Alloc(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.UsedBlocks(); got != refillBatch {
+		t.Fatalf("after first alloc UsedBlocks = %d, want refill batch %d", got, refillBatch)
+	}
+	seen := map[int64]bool{first: true}
+	for i := 1; i < refillBatch; i++ {
+		off, err := a.Alloc(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("cache handed out duplicate block %d", off)
+		}
+		seen[off] = true
+		if got := a.UsedBlocks(); got != refillBatch {
+			t.Fatalf("cache hit %d grew UsedBlocks to %d", i, got)
+		}
+	}
+	// Batch exhausted: the next alloc refills again.
+	if _, err := a.Alloc(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.UsedBlocks(); got != 2*refillBatch {
+		t.Fatalf("second refill UsedBlocks = %d, want %d", got, 2*refillBatch)
+	}
+	if got := a.Drain(ctx); got != refillBatch-1 {
+		t.Fatalf("Drain released %d, want %d", got, refillBatch-1)
+	}
+	if got := a.UsedBlocks(); got != int64(refillBatch)+1 {
+		t.Fatalf("after drain UsedBlocks = %d, want %d", got, refillBatch+1)
+	}
+}
+
+// TestShardCacheStealUnderPressure fills the device through one worker's
+// shard, then has a worker on a different shard allocate: the global pool is
+// empty but the first shard's cache must be reclaimed rather than returning
+// ErrNoSpace while free blocks exist.
+func TestShardCacheStealUnderPressure(t *testing.T) {
+	a, _ := newTestAllocator(0, 32*4096, 4096)
+	// Worker 0 allocates 17 blocks; with free dropping below 2*refillBatch
+	// the refills degrade to singles, but earlier batches leave a cached
+	// surplus on worker 0's shard.
+	c0 := sim.NewCtx(0, 1)
+	for i := 0; i < 17; i++ {
+		if _, err := a.Alloc(c0); err != nil {
+			t.Fatalf("warm alloc %d: %v", i, err)
+		}
+	}
+	// A worker hashing to a different shard drains the rest of the device.
+	c1 := sim.NewCtx(1, 2)
+	got := 0
+	for {
+		if _, err := a.Alloc(c1); err != nil {
+			break
+		}
+		got++
+	}
+	if used := a.UsedBlocks(); used != 32 {
+		t.Fatalf("device not fully allocatable under shard hoarding: used %d of 32", used)
+	}
+	if got < 1 {
+		t.Fatal("second worker allocated nothing despite cached free blocks")
 	}
 }
 
@@ -375,6 +452,7 @@ func TestRefcounts(t *testing.T) {
 				t.Fatalf("panicked = %v, want %v", panicked, tc.wantPanic)
 			}
 			if !tc.wantPanic {
+				a.Drain(ctx)
 				if got := a.UsedBlocks(); got != tc.wantUsed {
 					t.Fatalf("UsedBlocks = %d, want %d", got, tc.wantUsed)
 				}

@@ -1,0 +1,54 @@
+// Regression: reconstruction of the per-worker cursor-publish shape added
+// with the many-core metadata log (PR 8). publishHW serializes cursor
+// writers for one home area behind a plain sync.Mutex, then calls
+// writeCursor — a package-local helper whose WriteNT+Fence are media ops,
+// so a crash-injection panic inside it would leak the publish mutex and
+// wedge every later claim in that area. The analyzer must flag the
+// non-deferred form through the local-helper call and accept the shipped
+// deferred form (including its early returns under the lock).
+package a
+
+import (
+	"sync"
+
+	"nvm"
+	"sim"
+)
+
+type areaLog struct {
+	pubMu sync.Mutex
+	dev   *nvm.Device
+	hw    uint64
+}
+
+// writeCursor is the fenced cursor encoder: it touches media directly, so
+// it is a crash point for every caller.
+func (m *areaLog) writeCursor(ctx *sim.Ctx, buf []byte, off int64) {
+	m.dev.WriteNT(ctx, buf, off)
+	m.dev.Fence(ctx)
+}
+
+// publishCursorBad holds the area's publish mutex across the cursor media
+// write with a trailing unlock: a fail-point panic inside writeCursor
+// leaves pubMu locked forever.
+func (m *areaLog) publishCursorBad(ctx *sim.Ctx, buf []byte, s uint64) {
+	m.pubMu.Lock() // want `m\.pubMu\.Lock held across potential crash point writeCursor without a deferred unlock`
+	if s > m.hw {
+		m.hw = s
+		m.writeCursor(ctx, buf, 0)
+	}
+	m.pubMu.Unlock()
+}
+
+// publishCursorGood is the shipped publishHW shape: deferred unlock, then
+// the double-checked monotone publish — early returns under the lock are
+// fine because the deferred unlock covers every exit, panic included.
+func (m *areaLog) publishCursorGood(ctx *sim.Ctx, buf []byte, s uint64) {
+	m.pubMu.Lock()
+	defer m.pubMu.Unlock()
+	if s <= m.hw {
+		return
+	}
+	m.hw = s
+	m.writeCursor(ctx, buf, 0)
+}

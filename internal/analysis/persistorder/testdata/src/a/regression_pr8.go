@@ -1,0 +1,53 @@
+// Regression: the per-worker area-cursor publish shape added with the
+// many-core metadata log (PR 8). A claim persists the area's cursor entry
+// non-temporally and then the caller commits the claimed slot through the
+// usual Store8 publish; the fence between them is what keeps a crash from
+// persisting a cursor that bounds recovery's scan BELOW a slot whose commit
+// word already landed — the bounded scan would silently skip a committed
+// op. The analyzer must flag the fence-less form against both sink kinds
+// (the raw Store8 publish and a commit-named helper).
+package a
+
+import (
+	"nvm"
+	"sim"
+)
+
+type cursorLog struct{ dev *nvm.Device }
+
+// commitClaim publishes a claimed slot's commit word; name-matched as a sink.
+func (m *cursorLog) commitClaim(ctx *sim.Ctx, off int64) {
+	m.dev.Store8(ctx, off, 1)
+}
+
+// badCursorBeforeCommit: the cursor entry's non-temporal write reaches the
+// claimed slot's commit publish with no fence in between.
+func (m *cursorLog) badCursorBeforeCommit(ctx *sim.Ctx, cursor []byte) {
+	m.dev.WriteNT(ctx, cursor, 0) // want `nvm WriteNT may reach commit sink commitClaim without an intervening persist barrier`
+	m.commitClaim(ctx, 4096)
+}
+
+// badCursorBeforeStore: same tear, raw-sink form — the unfenced cursor
+// write flows straight into the Store8 commit word.
+func (m *cursorLog) badCursorBeforeStore(ctx *sim.Ctx, cursor []byte) {
+	m.dev.WriteNT(ctx, cursor, 0) // want `nvm WriteNT may reach commit sink Store8 without an intervening persist barrier`
+	m.dev.Store8(ctx, 4096, 1)
+}
+
+// goodCursorPublish is the shipped writeCursor shape: the cursor's WriteNT
+// is fenced before any later commit word can land.
+func (m *cursorLog) goodCursorPublish(ctx *sim.Ctx, cursor []byte) {
+	m.dev.WriteNT(ctx, cursor, 0)
+	m.dev.Fence(ctx)
+	m.commitClaim(ctx, 4096)
+}
+
+// goodCursorThenRetire: after the fenced cursor, the retire path's two
+// Store8 kills (checksum first, then length) are eagerly-durable stores —
+// no further barrier is owed for them.
+func (m *cursorLog) goodCursorThenRetire(ctx *sim.Ctx, cursor []byte) {
+	m.dev.WriteNT(ctx, cursor, 0)
+	m.dev.Fence(ctx)
+	m.dev.Store8(ctx, 4096+40, 0)
+	m.dev.Store8(ctx, 4096+0, 0)
+}

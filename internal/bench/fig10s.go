@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+
+	"mgsp/internal/core"
+	"mgsp/internal/fio"
+	"mgsp/internal/nvm"
+	"mgsp/internal/sim"
+)
+
+// fig10sOps are the access patterns of the many-core ladder. The disjoint
+// row is the scalability acid test: workers never share a block, so every
+// failed try-lock or metadata-log collision measured there is self-inflicted
+// serialization, not workload contention.
+var fig10sOps = []struct {
+	name     string
+	op       fio.Op
+	disjoint bool
+}{
+	{"seq-write", fio.SeqWrite, false},
+	{"rand-write", fio.RandWrite, false},
+	{"disjoint-rand", fio.RandWrite, true},
+}
+
+// fig10sThreads is the ladder for a scale: powers of two from 1 up to
+// 4*MaxThreads, capped at 64 (smoke: 1–8, quick: 1–32, full: 1–64). The
+// cap matches the metadata log's 64 home areas — beyond that, workers share
+// areas by construction and the per-worker story ends.
+func fig10sThreads(sc Scale) []int {
+	max := sc.MaxThreads * 4
+	if max > 64 {
+		max = 64
+	}
+	var out []int
+	for th := 1; th <= max; th *= 2 {
+		out = append(out, th)
+	}
+	return out
+}
+
+// Fig10Scale extends Figure 10 into the many-core regime: MGSP only, 1 KiB
+// writes with per-op fsync, thread ladder to 64. Beyond throughput it
+// exports the contention counters the per-worker home-slot design is judged
+// by — `fig10s/mgl_try_fails_per_op.disjoint` is the merge gate
+// (ValidateReport rejects reports where disjoint writers fail more than
+// 0.05 try-locks per write).
+func Fig10Scale(sc Scale) (*Table, map[string]float64, error) {
+	threads := fig10sThreads(sc)
+	rows := make([]string, len(threads))
+	for i, th := range threads {
+		rows[i] = fmt.Sprintf("%d-threads", th)
+	}
+	cols := make([]string, len(fig10sOps))
+	for j, w := range fig10sOps {
+		cols[j] = w.name
+	}
+	t := NewTable("fig10s", "many-core scalability, 1K write, MGSP", "MiB/s", cols, rows)
+	metrics := make(map[string]float64)
+
+	for j, w := range fig10sOps {
+		var base float64
+		for i, th := range threads {
+			fs := core.MustNew(nvm.New(devSizeFor(sc.FileSize), sim.DefaultCosts()), core.DefaultOptions())
+			res, err := fio.Run(fs, fio.Config{
+				Op:           w.op,
+				Disjoint:     w.disjoint,
+				FileSize:     sc.FileSize,
+				BS:           1024,
+				Threads:      th,
+				FsyncEvery:   1,
+				OpsPerThread: sc.Ops / 2,
+				Seed:         1700 + int64(j),
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig10s %s %d threads: %w", w.name, th, err)
+			}
+			t.Cells[i][j] = res.ThroughputMBps()
+			if th == 1 {
+				base = res.ThroughputMBps()
+			}
+			if i == len(threads)-1 {
+				// Top rung: export the contention profile of the whole run
+				// (layout + ramp + measured; the registry counters are never
+				// reset, so writes is the matching denominator).
+				snap := fs.Obs().Snapshot()
+				writes := snap.Values["core.writes"]
+				if writes > 0 {
+					metrics["fig10s/mgl_try_fails_per_op."+w.name] = snap.Values["core.mgl_try_fails"] / writes
+					metrics["fig10s/meta_cas_retries_per_op."+w.name] = snap.Values["core.meta_cas_retries"] / writes
+				}
+				if base > 0 {
+					metrics["fig10s/speedup."+w.name] = res.ThroughputMBps() / base
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"disjoint-rand confines each worker's random offsets to its own stripe (fio Disjoint)",
+		"gate: fig10s/mgl_try_fails_per_op.disjoint-rand <= 0.05 (mgspstat -validate)")
+	return t, metrics, nil
+}

@@ -124,6 +124,20 @@ func ValidateReport(data []byte) (*Report, error) {
 			return nil, fmt.Errorf("bench: cache metric %q is negative: %v", name, v)
 		}
 	}
+	// The many-core ladder's reason to exist is proving disjoint writers do
+	// not serialize on MGSP's own structures: a report that ran fig10s must
+	// carry the disjoint try-fail rate, and the rate must be inside the
+	// budget the per-worker home-slot design promises (ISSUE 8 acceptance).
+	if reportHasExperiment(r.Experiment, "fig10s") {
+		const key = "fig10s/mgl_try_fails_per_op.disjoint-rand"
+		v, ok := r.Metrics[key]
+		if !ok {
+			return nil, fmt.Errorf("bench: experiment %q includes fig10s but no %s metric", r.Experiment, key)
+		}
+		if v > 0.05 {
+			return nil, fmt.Errorf("bench: %s = %.4f exceeds the 0.05 budget: disjoint writers are serializing", key, v)
+		}
+	}
 	// The mixed experiment exists to compare cache-on vs cache-off; a report
 	// claiming to include it but carrying no cache counters is malformed.
 	if reportHasExperiment(r.Experiment, "mixed") {

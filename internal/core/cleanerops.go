@@ -23,13 +23,15 @@ import (
 func (fs *FS) Cleaner() *cleaner.Cleaner { return fs.cleaner }
 
 // LogBlocks returns the 4 KiB device blocks currently held by shadow logs:
-// allocator usage minus the blocks backing the files themselves. This is the
-// quantity the cleaner bounds on sustained-overwrite workloads, and the
-// high-water signal the server's admission control throttles on. Both inputs
-// are atomics, so it is safe from any goroutine — including concurrently
-// with Create (the old Files() iteration was not).
+// allocator usage minus the blocks backing the files themselves and minus
+// blocks parked in per-worker allocation caches (set in the bitmap but
+// logically free). This is the quantity the cleaner bounds on
+// sustained-overwrite workloads, and the high-water signal the server's
+// admission control throttles on. Safe from any goroutine — including
+// concurrently with Create (the old Files() iteration was not).
 func (fs *FS) LogBlocks() int64 {
-	return fs.prov.Alloc().UsedBlocks() - fs.prov.BackingPages()
+	a := fs.prov.Alloc()
+	return a.UsedBlocks() - a.Cached() - fs.prov.BackingPages()
 }
 
 // opExit leaves an operation's in-flight window and donates this goroutine
@@ -169,6 +171,11 @@ func (f *file) cleanFile(ctx *sim.Ctx, gen, startOff int64, remaining *int64, re
 	for f.greedyActive.Load() != 0 {
 		runtime.Gosched()
 	}
+	// The cleaner's merge/reclaim writes run under subtree try-locks, but
+	// optimistic readers take none — drain them for the sweep, like any
+	// other mutating section.
+	f.writerEnter()
+	defer f.writerExit()
 	// In LockFile mode the exclusive file lock stands in for all subtree
 	// locks. Taken before sizeMu to match WriteAt's flock -> sizeMu order
 	// (size publish happens under the op's file lock).

@@ -376,6 +376,7 @@ func TestRemoveReclaims(t *testing.T) {
 	if err := fs.Remove(ctx, "f"); err != nil {
 		t.Fatal(err)
 	}
+	fs.prov.Alloc().Drain(ctx) // flush shard caches: exact-count audit below
 	if used := fs.prov.Alloc().UsedBlocks(); used != 0 {
 		t.Fatalf("%d blocks leaked after remove", used)
 	}

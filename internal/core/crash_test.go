@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -378,6 +379,199 @@ func TestCrashSweepChainedCommit(t *testing.T) {
 				t.Fatal("sweep never crashed")
 			}
 			return
+		}
+	}
+}
+
+// TestCrashSweepSlotReuseResurrection regresses the retired-entry
+// resurrection hazard in the metadata log's slot-reuse protocol. One worker
+// issues enough single-entry writes to wrap its 15-slot home-area rotation
+// several times, so later commits land in slots holding retired corpses of
+// earlier ops with identical length fields. A torn re-commit then persists
+// only a short prefix of the new entry — and with a retire that zeroed only
+// the length word, a prefix stopping before the checksum field would revive
+// the corpse bit-identically for recovery to replay over state that later
+// completed ops had already moved past. The sweep hits every media-op index,
+// so some fail points land exactly on those reused-slot commits with every
+// possible tear prefix; the oracle requires each region to hold the pattern
+// of its last completed write (or the one in-flight write), uniformly.
+func TestCrashSweepSlotReuseResurrection(t *testing.T) {
+	opts := smallTreeOpts()
+	const (
+		regions    = 4
+		regionSize = 4096
+		ops        = 24 // wraps the 15-op home rotation: commits 16..24 reuse retired slots
+	)
+
+	for fail := int64(0); ; fail++ {
+		completed := 0
+		fs, crashed := crashRun(t, opts, fail,
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Create(ctx, "f")
+				f.WriteAt(ctx, make([]byte, regions*regionSize), 0)
+			},
+			func(ctx *sim.Ctx, fs *FS) {
+				f, _ := fs.Open(ctx, "f")
+				for i := 0; i < ops; i++ {
+					pat := bytes.Repeat([]byte{byte(i + 1)}, regionSize)
+					f.WriteAt(ctx, pat, int64(i%regions)*regionSize)
+					completed = i + 1
+				}
+			})
+		ctx := sim.NewCtx(9, 9)
+		f, err := fs.Open(ctx, "f")
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		got := make([]byte, regions*regionSize)
+		if n, _ := f.ReadAt(ctx, got, 0); n != len(got) {
+			t.Fatalf("fail=%d: short read %d", fail, n)
+		}
+		for r := 0; r < regions; r++ {
+			// The last completed write on region r, if any, and the one write
+			// that may have been in flight at the crash.
+			last := byte(0)
+			for i := completed - 1; i >= 0; i-- {
+				if i%regions == r {
+					last = byte(i + 1)
+					break
+				}
+			}
+			inflight := byte(0)
+			if completed < ops && completed%regions == r {
+				inflight = byte(completed + 1)
+			}
+			region := got[r*regionSize : (r+1)*regionSize]
+			pat := region[0]
+			if pat != last && (inflight == 0 || pat != inflight) {
+				t.Fatalf("fail=%d completed=%d: region %d regressed to pattern %#x (want %#x or in-flight %#x) — retired entry resurrected",
+					fail, completed, r, pat, last, inflight)
+			}
+			for j, b := range region {
+				if b != pat {
+					t.Fatalf("fail=%d completed=%d: region %d torn at byte %d (%#x vs %#x)",
+						fail, completed, r, j, b, pat)
+				}
+			}
+		}
+		if !crashed {
+			if fail == 0 {
+				t.Fatal("sweep never crashed")
+			}
+			if completed != ops {
+				t.Fatalf("uncrashed run completed %d/%d ops", completed, ops)
+			}
+			return
+		}
+	}
+}
+
+// TestCrashSweepCursorPublish sweeps fail points through raw metadata-log
+// traffic — claims that publish area cursors, spill into a neighbor area,
+// commit, and retire — and checks the two stitching invariants recovery's
+// bounded per-area scan relies on, at every crash point:
+//
+//   - ordering: a valid op entry never sits in a slot above its area's
+//     valid durable cursor (claims persist the cursor before returning);
+//   - no resurrection: a slot decodes to at most the entry most recently
+//     committed there; once its retire has returned, it decodes as dead.
+//
+// The spill phase holds >15 claims from one worker so the cursor publish
+// path runs in a neighboring area too (crash between the two areas' slot
+// publishes is one of the swept points).
+func TestCrashSweepCursorPublish(t *testing.T) {
+	const entries = metaAreas * metaAreaSlots
+
+	for fail := int64(1); ; fail++ {
+		dev := nvm.New(1<<20, sim.ZeroCosts())
+		ctx := sim.NewCtx(0, 1)
+		m := newMetaLog(dev, 0, entries)
+
+		// attempt[i] is the group id of the entry most recently committed (or
+		// being committed) in slot i; retired[i] is set once retire returns.
+		attempt := make(map[int]uint32)
+		retired := make(map[int]bool)
+		group := uint32(0)
+		doCommit := func(i, w int) {
+			group++
+			attempt[i] = group
+			delete(retired, i)
+			m.commit(ctx, i, w, int64(i)*4096, 4096, 1<<20,
+				[]bitmapSlot{{recIdx: int64(i), old: 1, new: 2}}, group, 0, 1, 1)
+		}
+
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != nvm.ErrCrashed {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			dev.ArmCrash(fail, fail*13+5)
+			// Phase 1: worker 3 claims 20 entries without retiring — the home
+			// area fills at 15 and the rest spill into the next area, with a
+			// cursor publish in each.
+			held := make([]int, 0, 20)
+			for k := 0; k < 20; k++ {
+				i := m.claim(ctx, 3)
+				doCommit(i, 3)
+				held = append(held, i)
+			}
+			for _, i := range held {
+				m.retire(ctx, i)
+				retired[i] = true
+			}
+			// Phase 2: claim/commit/retire cycles from several workers; worker
+			// 3's claims reuse the phase-1 slots (the ABA window).
+			for k := 0; k < 30; k++ {
+				w := k % 5
+				i := m.claim(ctx, w)
+				doCommit(i, w)
+				m.retire(ctx, i)
+				retired[i] = true
+			}
+		}()
+		dev.DisarmCrash()
+		if !crashed {
+			if fail == 1 {
+				t.Fatal("sweep never crashed")
+			}
+			return
+		}
+		dev.Recover()
+
+		m2 := newMetaLog(dev, 0, entries)
+		for i := 0; i < entries; i++ {
+			if i%metaAreaSlots == 0 {
+				continue // cursor slots
+			}
+			var buf [entrySize]byte
+			for j := 0; j < entrySize; j += 8 {
+				binary.LittleEndian.PutUint64(buf[j:], dev.Load8(m2.off(i)+int64(j)))
+			}
+			e, ok := decodeEntry(buf[:])
+			if !ok {
+				continue
+			}
+			if e.kind == entKindCursor {
+				t.Fatalf("fail=%d: cursor entry decoded in op slot %d", fail, i)
+			}
+			if retired[i] {
+				t.Fatalf("fail=%d: slot %d decodes valid (group %d) after its retire returned — resurrected corpse",
+					fail, i, e.group)
+			}
+			if g, ok := attempt[i]; !ok || e.group != g {
+				t.Fatalf("fail=%d: slot %d decodes group %d, last commit attempt there was group %d — stale incarnation revived",
+					fail, i, e.group, g)
+			}
+			a, s := i/metaAreaSlots, i%metaAreaSlots
+			if hw, ok := m2.readCursor(a); ok && s > hw {
+				t.Fatalf("fail=%d: valid entry in area %d slot %d above durable cursor %d — bounded scan would miss it",
+					fail, a, s, hw)
+			}
 		}
 	}
 }

@@ -13,7 +13,11 @@ import (
 	"mgsp/internal/vfs"
 )
 
-const metaLogEntries = 128 // power of two; 32 entries per 4 KiB area
+// metaLogEntries is the total metadata-log capacity: 64 per-worker home
+// areas of 16 entries each (slot 0 of each area is its persistent cursor,
+// see meta.go). 15 op slots per area comfortably cover one worker's
+// longest chained commit plus a live snapshot mark or two.
+const metaLogEntries = metaAreas * metaAreaSlots
 
 // cleanerWorker is the sim worker id of the background cleaner's private
 // context, far above any foreground worker id so lock bookings and media
@@ -81,6 +85,11 @@ type FS struct {
 
 	mu    sim.Mutex
 	files map[string]*file
+
+	// optGate arms the optimistic lock-free read path (optread.go): set once
+	// at mkFS when the configuration supports it, so disabled configurations
+	// pay nothing (writerEnter/writerExit return immediately).
+	optGate bool
 
 	stats Stats
 
@@ -158,6 +167,9 @@ func mkFS(prov *pmfile.Provider, opts Options) *FS {
 		files:   make(map[string]*file),
 	}
 	fs.dir.hwCell = ckptOff + ckptDirHW
+	// The optimistic read path needs MGL (per-node versions live in the MGL
+	// locks) and no DRAM cache tier (frame installs happen under R locks).
+	fs.optGate = opts.OptimisticReads && opts.Locking == LockMGL && opts.CacheFrames == 0
 	fs.initObs()
 	if opts.CleanerInterval > 0 {
 		fs.dir.tracking = true
@@ -224,6 +236,7 @@ func (fs *FS) initObs() {
 	fs.hCleanPass = r.Histogram("cleaner.pass_ns")
 	fs.mlog.probeDist = fs.hProbeDist
 	fs.mlog.casRetries = &fs.stats.MetaCASRetries
+	fs.mlog.cursorWrites = &fs.stats.MetaCursorWrites
 }
 
 // Name implements vfs.FS.
@@ -267,9 +280,11 @@ type file struct {
 
 	flock sim.RWMutex // used in LockFile mode
 
-	// Sticky intention locks per worker (lazy intention cleaning).
-	intentMu sync.Mutex
-	intents  map[int]map[*node]*workerIntent
+	// Sticky intention locks per worker (lazy intention cleaning), striped
+	// by worker hash: the bookkeeping map is consulted on every MGL
+	// acquisition, and a single mutex over it serializes all workers on the
+	// file even when their lock sets are disjoint.
+	intents [intentStripes]intentShard
 
 	refs    atomic.Int32
 	removed bool
@@ -287,6 +302,12 @@ type file struct {
 	// subtree try-locks actually exclude them.
 	cleanerBusy atomic.Int64
 
+	// Optimistic-read gate (optread.go): optWS/optWF count writer-section
+	// enters/exits (unequal = a mutator is active), optRd counts registered
+	// lock-free readers (writers drain it before mutating). Volatile DRAM
+	// state, unmetered in virtual time.
+	optWS, optWF, optRd atomic.Int64
+
 	// maxLiveSnap is the newest live snapshot id of this file (0 = none).
 	// Nonzero switches writes into copy-on-write mode: any committed mutation
 	// of a recorded node pins the node's frozen state first, and overwrites
@@ -301,8 +322,27 @@ type file struct {
 // workerIntent tracks which intention modes a worker holds on a node.
 type workerIntent struct{ ir, iw bool }
 
+// intentStripes is the number of sticky-intent map shards per file (power
+// of two). The map is keyed by worker, so worker-hash striping partitions
+// it exactly: two workers on different stripes never contend.
+const intentStripes = 8
+
+// intentShard is one stripe of a file's sticky-intent bookkeeping.
+type intentShard struct {
+	mu sync.Mutex
+	m  map[int]map[*node]*workerIntent
+}
+
+// intentShard returns the stripe owning worker's sticky intents.
+func (f *file) intentShard(worker int) *intentShard {
+	return &f.intents[sim.WorkerHash(worker)&(intentStripes-1)]
+}
+
 func (fs *FS) newFile(pf *pmfile.File, name string) *file {
-	f := &file{fs: fs, pf: pf, name: name, intents: make(map[int]map[*node]*workerIntent)}
+	f := &file{fs: fs, pf: pf, name: name}
+	for i := range f.intents {
+		f.intents[i].m = make(map[int]map[*node]*workerIntent)
+	}
 	return f
 }
 
@@ -387,6 +427,10 @@ func (fs *FS) Remove(ctx *sim.Ctx, name string) error {
 // discardTree releases every node's log and record without write-back
 // (truncate/remove paths; Close uses writeback instead).
 func (f *file) discardTree(ctx *sim.Ctx) {
+	// Discard holds no node locks; drain optimistic readers so none copies
+	// from a log block being freed.
+	f.writerEnter()
+	defer f.writerExit()
 	if r := f.root.Load(); r != nil {
 		f.releaseSubtree(ctx, r)
 	}
@@ -414,18 +458,21 @@ func (f *file) releaseSubtree(ctx *sim.Ctx, n *node) {
 
 // releaseAllIntents drops every worker's sticky intention locks (file close).
 func (f *file) releaseAllIntents(ctx *sim.Ctx) {
-	f.intentMu.Lock()
-	defer f.intentMu.Unlock()
-	for w, m := range f.intents {
-		for n, wi := range m {
-			if wi.ir {
-				n.lock.Unlock(ctx, lockIR)
+	for i := range f.intents {
+		sh := &f.intents[i]
+		sh.mu.Lock()
+		for w, m := range sh.m {
+			for n, wi := range m {
+				if wi.ir {
+					n.lock.Unlock(ctx, lockIR)
+				}
+				if wi.iw {
+					n.lock.Unlock(ctx, lockIW)
+				}
 			}
-			if wi.iw {
-				n.lock.Unlock(ctx, lockIW)
-			}
+			delete(sh.m, w)
 		}
-		delete(f.intents, w)
+		sh.mu.Unlock()
 	}
 }
 
@@ -506,6 +553,11 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 		return ErrHasSnapshots
 	}
 	ctx.Advance(f.fs.costs.Syscall + f.fs.costs.VFSOp)
+	// Truncate mutates outside node locks (discard/write-back, size, file
+	// zeroing); drain optimistic readers for the whole section. The nested
+	// enters from discardTree/writeback below pair up harmlessly.
+	f.writerEnter()
+	defer f.writerExit()
 	if f.fs.flusher != nil {
 		// Make buffered write-back data durable before resizing: a shrink
 		// must not lose acked writes below the new size. Drain takes node

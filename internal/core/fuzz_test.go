@@ -53,7 +53,7 @@ func coveredBytes(e logEntry) int {
 		if len(e.snaps) <= 1 {
 			return 64
 		}
-	case entKindSnapCreate, entKindSnapDrop:
+	case entKindSnapCreate, entKindSnapDrop, entKindCursor:
 		return 64
 	}
 	return entrySize
@@ -97,6 +97,91 @@ func FuzzDecodeEntry(f *testing.F) {
 			fe, fok := decodeEntry(flipped)
 			if !fok || !reflect.DeepEqual(fe, e) {
 				t.Fatalf("flip at uncovered bit %d changed the decode (ok=%v)", bit, fok)
+			}
+		}
+	})
+}
+
+// fuzzSeedCursors persists per-worker area cursors through the real
+// writeCursor encoder and returns the raw 64-byte-significant entries (padded
+// to entrySize), so the cursor fuzzer starts from checksum-valid corpus.
+func fuzzSeedCursors() [][]byte {
+	dev := nvm.New(1<<20, sim.ZeroCosts())
+	ctx := sim.NewCtx(0, 1)
+	m := newMetaLog(dev, 0, metaAreas*metaAreaSlots)
+
+	out := make([][]byte, 0, 3)
+	for _, c := range []struct{ a, hw int }{{0, 1}, {3, metaAreaOpSlots}, {metaAreas - 1, 7}} {
+		m.writeCursor(ctx, c.a, c.hw)
+		buf := make([]byte, entrySize)
+		dev.Read(ctx, buf, m.off(c.a*metaAreaSlots))
+		out = append(out, buf)
+	}
+	return out
+}
+
+// FuzzDecodeCursor drives the per-worker area-cursor decode path
+// (decodeEntry + cursorBound) with arbitrary bytes. The cursor is an upper
+// bound only — recovery falls back to a full-area scan when it is missing —
+// but an ACCEPTED cursor is load-bearing for the bounded scan, so the
+// contract is strict:
+//
+//   - decode never panics, whatever the bytes;
+//   - cursorBound only accepts entries of kind entKindCursor whose area id
+//     matches and whose high-water lies in [1, metaAreaOpSlots] — a
+//     checksummed-but-foreign entry (wrong area, scribbled offset) must not
+//     bound another area's scan;
+//   - any single-bit flip inside the checksummed 64-byte prefix of a valid
+//     cursor is rejected, so a torn cursor write degrades to the full scan
+//     instead of truncating it.
+func FuzzDecodeCursor(f *testing.F) {
+	for _, seed := range fuzzSeedCursors() {
+		f.Add(seed)
+	}
+	f.Add(make([]byte, entrySize))
+	f.Add(bytes.Repeat([]byte{0xff}, entrySize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := make([]byte, entrySize)
+		copy(buf, data)
+		e, ok := decodeEntry(buf)
+		if !ok {
+			for a := 0; a < metaAreas; a++ {
+				if hw, bok := cursorBound(e, a); bok {
+					t.Fatalf("cursorBound accepted an invalid decode (area %d, hw %d)", a, hw)
+				}
+			}
+			return
+		}
+		accepted := 0
+		for a := 0; a < metaAreas; a++ {
+			hw, bok := cursorBound(e, a)
+			if !bok {
+				continue
+			}
+			accepted++
+			if e.kind != entKindCursor {
+				t.Fatalf("cursorBound accepted kind %d as a cursor", e.kind)
+			}
+			if e.fileSlot != a {
+				t.Fatalf("cursorBound bound area %d with area %d's cursor", a, e.fileSlot)
+			}
+			if hw < 1 || hw > metaAreaOpSlots {
+				t.Fatalf("cursorBound returned out-of-range high-water %d", hw)
+			}
+		}
+		if accepted > 1 {
+			t.Fatalf("cursor accepted by %d distinct areas", accepted)
+		}
+		if e.kind != entKindCursor {
+			return
+		}
+		flipped := make([]byte, entrySize)
+		for bit := 0; bit < 64*8; bit++ {
+			copy(flipped, buf)
+			flipped[bit/8] ^= 1 << (bit % 8)
+			if fe, fok := decodeEntry(flipped); fok {
+				t.Fatalf("cursor bit flip at %d accepted: %+v", bit, fe)
 			}
 		}
 	})

@@ -151,7 +151,7 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 	}
 	var snapCreates []snapEnt
 	dropIDs := make(map[uint64]bool)
-	live := 0
+	live, cursors := 0, 0
 	var ebuf [entrySize]byte
 	var liveLines []string
 	for i := 0; i < fs.mlog.entries; i++ {
@@ -166,6 +166,11 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 			continue
 		case entKindSnapDrop:
 			dropIDs[uint64(e.offset)] = true
+		case entKindCursor:
+			// Area bookkeeping, not an in-flight operation: the cursor only
+			// bounds recovery's scan of its area (DESIGN.md §14.2).
+			cursors++
+			continue
 		}
 		live++
 		slots := len(e.slots) + len(e.snaps)
@@ -173,7 +178,8 @@ func Inspect(dev *nvm.Device, opts Options) (string, error) {
 			"  entry %-3d kind=%-11s file-slot=%d off=%d len=%d size=%d slots=%d chain=%d/%d group=%d",
 			i, kindName[e.kind], e.fileSlot, e.offset, e.length, e.fileSize, slots, e.chainIdx+1, e.chainLen, e.group))
 	}
-	fmt.Fprintf(&b, "\nmetadata log: %d entries, %d live (uncommitted or unreplayed)\n", fs.mlog.entries, live)
+	fmt.Fprintf(&b, "\nmetadata log: %d entries, %d live (uncommitted or unreplayed), %d area cursors\n",
+		fs.mlog.entries, live, cursors)
 	for _, l := range liveLines {
 		b.WriteString(l + "\n")
 	}

@@ -35,9 +35,10 @@ func TestLazyIntentionDescend(t *testing.T) {
 		hA.WriteAt(ctxA, bytes.Repeat([]byte{0xA1}, 512), int64(i)*4096)
 	}
 	ff := fs.files["f"]
-	ff.intentMu.Lock()
-	stickies := len(ff.intents[ctxA.ID])
-	ff.intentMu.Unlock()
+	sh := ff.intentShard(ctxA.ID)
+	sh.mu.Lock()
+	stickies := len(sh.m[ctxA.ID])
+	sh.mu.Unlock()
 	if stickies == 0 {
 		t.Fatal("no sticky intentions cached (lazy cleaning inactive)")
 	}

@@ -46,15 +46,19 @@ func (f *file) lockOp(ctx *sim.Ctx, start *node, segs []segment, write bool) *op
 		// the whole operation (§III-C2), skipping ancestor intentions —
 		// sound only while a single worker uses the file (tryGreedy).
 		ol.greedy = true
-		f.fs.stats.GreedyOps.Add(1)
+		f.fs.stats.GreedyOps.Add(ctx.ID, 1)
 		f.lockCoarse(ctx, start, mode, ol)
 		f.fs.hMGLAcq.Observe(ctx.Now() - began)
 		return ol
 	}
 	if f.fs.opts.GreedyLocking {
 		// The greedy fast path was configured but unavailable (multi-user
-		// demotion, open handles, or a busy cleaner).
-		f.fs.stats.MGLTryFails.Add(1)
+		// demotion, open handles, or a busy cleaner). This is a standing
+		// capacity condition, not a failed try-lock: at 2+ workers every
+		// single op runs demoted, and counting it as MGLTryFails made the
+		// lock fast path read as a try-fail storm (fails ~= ops in
+		// BENCH_smoke) when nothing was spinning at all.
+		f.fs.stats.GreedyDemotions.Add(ctx.ID, 1)
 	}
 
 	// Intentions on the union of target ancestries, root-first then by
@@ -143,11 +147,12 @@ func (f *file) acquireIntent(ctx *sim.Ctx, a *node, mode lockMode, ol *opLocks) 
 		ol.acquired = append(ol.acquired, lockedNode{a, mode})
 		return
 	}
-	f.intentMu.Lock()
-	m := f.intents[ctx.ID]
+	sh := f.intentShard(ctx.ID)
+	sh.mu.Lock()
+	m := sh.m[ctx.ID]
 	if m == nil {
 		m = make(map[*node]*workerIntent)
-		f.intents[ctx.ID] = m
+		sh.m[ctx.ID] = m
 	}
 	wi := m[a]
 	if wi == nil {
@@ -165,7 +170,7 @@ func (f *file) acquireIntent(ctx *sim.Ctx, a *node, mode lockMode, ol *opLocks) 
 			wi.iw = true
 		}
 	}
-	f.intentMu.Unlock()
+	sh.mu.Unlock()
 	if !have {
 		a.lock.Lock(ctx, mode)
 	}
@@ -177,8 +182,9 @@ func (f *file) dropStickyIntent(ctx *sim.Ctx, n *node) {
 	if !f.fs.opts.LazyIntentionCleaning {
 		return
 	}
-	f.intentMu.Lock()
-	m := f.intents[ctx.ID]
+	sh := f.intentShard(ctx.ID)
+	sh.mu.Lock()
+	m := sh.m[ctx.ID]
 	var wi *workerIntent
 	if m != nil {
 		wi = m[n]
@@ -186,7 +192,7 @@ func (f *file) dropStickyIntent(ctx *sim.Ctx, n *node) {
 	if wi != nil {
 		delete(m, n)
 	}
-	f.intentMu.Unlock()
+	sh.mu.Unlock()
 	if wi != nil {
 		f.fs.stats.MGLIntentDrops.Add(1)
 		if wi.ir {
@@ -217,7 +223,7 @@ func (f *file) lockCoarse(ctx *sim.Ctx, n *node, mode lockMode, ol *opLocks) {
 		// Leaves never carry intentions; LockLazy cannot report descent.
 		panic("core: intention conflict on a leaf")
 	}
-	f.fs.stats.Descends.Add(1)
+	f.fs.stats.Descends.Add(ctx.ID, 1)
 	intent := lockIR
 	if mode == lockW {
 		intent = lockIW

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 
 	"mgsp/internal/nvm"
@@ -166,6 +167,28 @@ const (
 	entKindSnapCreate = 1 // live snapshot: stays in the log until dropped
 	entKindSnapDrop   = 2 // snapshot drop in progress (transient)
 	entKindOpSnap     = 3 // op entry with 16-byte slots (word flips + log swaps)
+	entKindCursor     = 4 // per-worker area cursor: persisted claim high-water
+)
+
+// ---- per-worker home areas ----
+//
+// The metadata log is organized as metaAreas home areas of metaAreaSlots
+// entries each (ROART's NVMMgr gives every thread a thread-local persistent
+// area for the same reason: a single shared claim array makes every op a
+// cross-core CAS fight). Worker IDs hash to a home area; with at most
+// metaAreas foreground workers the hash is a bijection and claims are
+// entirely contention-free. Slot 0 of each area is reserved for the area's
+// cursor entry (entKindCursor): a checksummed record of the highest op slot
+// ever claimed in the area, persisted BEFORE the claiming op may commit, so
+// recovery can stop scanning an area at its cursor instead of walking every
+// slot of a 16x larger log. The cursor is an upper bound only — if it is
+// torn or missing, recovery falls back to scanning the whole area, so it is
+// never load-bearing for crash consistency.
+const (
+	metaAreas     = 64
+	metaAreaSlots = 16
+	// metaAreaOpSlots is the per-area op-entry capacity (slot 0 is the cursor).
+	metaAreaOpSlots = metaAreaSlots - 1
 )
 
 // Snap-op slot kinds (entKindOpSnap entries).
@@ -196,44 +219,209 @@ type bitmapSlot struct {
 	old, new uint16
 }
 
-// metaLog is the fixed array of 128-byte entries claimed lock-free by
-// hashing the worker id, with linear probing on collision.
+// metaLog is the fixed array of 128-byte entries organized into per-worker
+// home areas (metaAreaSlots entries each, slot 0 the area cursor) and
+// claimed lock-free: a worker probes its home area first and spills to
+// neighboring areas only when the home is full. Logs smaller than one area
+// (unit-test fixtures) run in legacy flat mode with no areas or cursors.
 type metaLog struct {
 	dev     *nvm.Device
 	base    int64
 	entries int
+	areas   int // entries / metaAreaSlots; 0 = legacy flat probing
 	claims  []atomic.Bool
 
-	// Observability: probeDist records the linear-probe distance of each
-	// claim (0 = the hash slot was free) and casRetries counts slots lost to
-	// a concurrent claimer — together they expose metadata-log contention.
+	// areaHW caches each area's claim high-water (the highest op slot index
+	// ever claimed); areaDurable records whether the device cursor entry is
+	// known valid. Publishes go through pubMu so the persisted cursor is
+	// monotone even when two workers spill into one area concurrently.
+	// areaCur is a volatile rotation hint: the next op slot a claim probes
+	// first, giving each area round-robin reuse instead of hammering slot 1.
+	areaHW      []atomic.Uint32
+	areaDurable []atomic.Bool
+	areaCur     []atomic.Uint32
+	pubMu       []sync.Mutex
+
+	// Observability: probeDist records the probe distance of each claim
+	// (0 = first candidate free) and casRetries counts slots lost to a
+	// concurrent claimer — together they expose metadata-log contention.
+	// cursorWrites counts cursor persists (each is a 64B WriteNT + fence).
 	// newMetaLog installs private defaults; FS.initObs re-points them at the
 	// registry-backed metrics.
-	probeDist  *obs.Histogram
-	casRetries *obs.Counter
+	probeDist    *obs.Histogram
+	casRetries   *obs.Counter
+	cursorWrites *obs.Counter
 }
 
 func newMetaLog(dev *nvm.Device, base int64, entries int) *metaLog {
-	return &metaLog{dev: dev, base: base, entries: entries, claims: make([]atomic.Bool, entries),
-		probeDist: &obs.Histogram{}, casRetries: &obs.Counter{}}
+	m := &metaLog{dev: dev, base: base, entries: entries, claims: make([]atomic.Bool, entries),
+		probeDist: &obs.Histogram{}, casRetries: &obs.Counter{}, cursorWrites: &obs.Counter{}}
+	if entries >= metaAreaSlots {
+		m.areas = entries / metaAreaSlots
+		m.areaHW = make([]atomic.Uint32, m.areas)
+		m.areaDurable = make([]atomic.Bool, m.areas)
+		m.areaCur = make([]atomic.Uint32, m.areas)
+		m.pubMu = make([]sync.Mutex, m.areas)
+		m.seedCursors()
+	}
+	return m
 }
 
 func (m *metaLog) off(i int) int64 { return m.base + int64(i)*entrySize }
 
-// claim obtains a private entry for the worker: hash, then linear probing
-// (§III-C1). It spins only if every entry is claimed (more workers than
-// entries; the paper's answer is to expand the area or wait).
+// homeArea maps a worker ID to its home area. Foreground workers 0..63 get
+// perfectly disjoint homes (the hash is a bijection on the low six bits);
+// sparse background IDs (cleaner, flusher, harness setup) spread via the
+// xor-folds instead of all aliasing area 0.
+func (m *metaLog) homeArea(worker int) int {
+	return sim.WorkerHash(worker) % m.areas
+}
+
+// claim obtains a private entry for the worker: hash to the home area, probe
+// its op slots from the rotation hint, spill to successive areas when full
+// (§III-C1's linear probing, lifted from slot granularity to area
+// granularity). It spins only if every entry is claimed. Before returning,
+// the area's cursor is raised (and persisted, with a fence) to cover the
+// claimed slot — the ordering invariant recovery's bounded scan relies on:
+// no entry ever commits in a slot above its area's durable cursor.
 func (m *metaLog) claim(ctx *sim.Ctx, worker int) int {
-	h := (worker * 0x9E3779B1) & (m.entries - 1)
-	for {
-		for p := 0; p < m.entries; p++ {
-			i := (h + p) & (m.entries - 1)
-			ctx.Advance(m.dev.Costs().Atomic)
-			if m.claims[i].CompareAndSwap(false, true) {
-				m.probeDist.Observe(int64(p))
-				return i
+	if m.areas == 0 {
+		h := (worker * 0x9E3779B1) & (m.entries - 1)
+		for {
+			for p := 0; p < m.entries; p++ {
+				i := (h + p) & (m.entries - 1)
+				ctx.Advance(m.dev.Costs().Atomic)
+				if m.claims[i].CompareAndSwap(false, true) {
+					m.probeDist.Observe(int64(p))
+					return i
+				}
+				m.casRetries.Add(1)
 			}
-			m.casRetries.Add(1)
+		}
+	}
+	home := m.homeArea(worker)
+	probes := 0
+	for {
+		for r := 0; r < m.areas; r++ {
+			a := home + r
+			if a >= m.areas {
+				a -= m.areas
+			}
+			base := a * metaAreaSlots
+			cur := int(m.areaCur[a].Load()) % metaAreaOpSlots
+			for p := 0; p < metaAreaOpSlots; p++ {
+				s := 1 + (cur+p)%metaAreaOpSlots
+				i := base + s
+				ctx.Advance(m.dev.Costs().Atomic)
+				if m.claims[i].CompareAndSwap(false, true) {
+					m.probeDist.Observe(int64(probes))
+					m.areaCur[a].Store(uint32((cur + p + 1) % metaAreaOpSlots))
+					m.publishHW(ctx, a, s)
+					return i
+				}
+				m.casRetries.Add(1)
+				probes++
+			}
+		}
+	}
+}
+
+// publishHW raises area a's durable cursor to cover op slot s. The fast path
+// is one atomic load: once the cursor covers the area's whole rotation it
+// never moves again, so steady state pays no media traffic. The slow path
+// serializes per area (deferred unlock: the cursor write is a crash-point
+// media op) and re-checks under the lock so the persisted value is monotone.
+// The volatile mirror is stored only AFTER the cursor entry is durable —
+// a concurrent claimer that reads hw >= s may therefore commit immediately.
+func (m *metaLog) publishHW(ctx *sim.Ctx, a, s int) {
+	if uint32(s) <= m.areaHW[a].Load() && m.areaDurable[a].Load() {
+		return
+	}
+	m.pubMu[a].Lock()
+	defer m.pubMu[a].Unlock()
+	hw := m.areaHW[a].Load()
+	if uint32(s) > hw {
+		hw = uint32(s)
+	} else if m.areaDurable[a].Load() {
+		return
+	}
+	m.writeCursor(ctx, a, int(hw))
+	m.areaHW[a].Store(hw)
+	m.areaDurable[a].Store(true)
+	m.cursorWrites.Add(1)
+}
+
+// writeCursor persists area a's cursor entry (slot 0): kind entKindCursor,
+// the area id in the slot word, the high-water in the offset field, fenced.
+func (m *metaLog) writeCursor(ctx *sim.Ctx, a, hw int) {
+	var buf [entrySize]byte
+	binary.LittleEndian.PutUint64(buf[entLen:], 1)
+	binary.LittleEndian.PutUint64(buf[entSlot:], uint64(a)|uint64(entKindCursor)<<56)
+	binary.LittleEndian.PutUint64(buf[entOffset:], uint64(hw))
+	binary.LittleEndian.PutUint64(buf[entCksum:], entryChecksum(buf[:64]))
+	m.dev.WriteNT(ctx, buf[:64], m.off(a*metaAreaSlots))
+	m.dev.Fence(ctx)
+}
+
+// cursorBound validates a decoded entry as area a's cursor and returns its
+// claim high-water. The range check keeps a checksummed-but-foreign value
+// (another area's cursor, a scribbled offset) from sending recovery's
+// bounded scan outside the area's op slots.
+func cursorBound(e logEntry, a int) (hw int, ok bool) {
+	if e.kind != entKindCursor || e.fileSlot != a {
+		return 0, false
+	}
+	if e.offset < 1 || e.offset > metaAreaOpSlots {
+		return 0, false
+	}
+	return int(e.offset), true
+}
+
+// readCursor decodes area a's cursor entry straight off the device (mount
+// path; unmetered like the checkpoint-cell read).
+func (m *metaLog) readCursor(a int) (hw int, ok bool) {
+	var buf [entrySize]byte
+	off := m.off(a * metaAreaSlots)
+	for i := 0; i < 64; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], m.dev.Load8(off+int64(i)))
+	}
+	e, ok := decodeEntry(buf[:])
+	if !ok {
+		return 0, false
+	}
+	return cursorBound(e, a)
+}
+
+// seedCursors initializes the volatile high-water mirrors from the device.
+// A fresh device decodes no cursors and every area starts at zero; a reused
+// device seeds the persisted bounds so publishes stay monotone across
+// mounts (a lower fresh claim must not shrink the durable cursor while
+// older entries could still sit above it).
+func (m *metaLog) seedCursors() {
+	for a := 0; a < m.areas; a++ {
+		if hw, ok := m.readCursor(a); ok {
+			m.areaHW[a].Store(uint32(hw))
+			m.areaDurable[a].Store(true)
+		}
+	}
+}
+
+// floorHW raises area bookkeeping for a kept (still-claimed) entry found by
+// recovery — live snapshot marks survive mounts in their slots, and the
+// volatile high-water must cover them so later publishes never persist a
+// cursor below a live entry. Volatile only: if the device cursor already
+// covered i it stays valid, and if it was torn the area scans fully until
+// a future publish rewrites it at or above this floor.
+func (m *metaLog) floorHW(i int) {
+	if m.areas == 0 {
+		return
+	}
+	a := i / metaAreaSlots
+	s := uint32(i % metaAreaSlots)
+	for {
+		hw := m.areaHW[a].Load()
+		if s <= hw || m.areaHW[a].CompareAndSwap(hw, s) {
+			return
 		}
 	}
 }
@@ -328,6 +516,17 @@ func (m *metaLog) commitSnapshotMark(ctx *sim.Ctx, i, kind, fileSlot int, snapID
 // retire marks the entry outdated ("the length in the log will be set to 0")
 // and releases the claim.
 func (m *metaLog) retire(ctx *sim.Ctx, i int) {
+	// Kill the checksum before the length. Zeroing only the length leaves a
+	// checksum-valid corpse in the slot: when the slot is reused, a torn
+	// re-commit persists some 8-byte-aligned prefix of the new entry over the
+	// old bytes, and a prefix that stops before the checksum field revives the
+	// length word while the header fields (file slot, offset, size) often
+	// match the old entry byte for byte — resurrecting the retired entry
+	// bit-identically, with its stale undo/redo words, for recovery to replay
+	// over state that later operations have long since moved past. With the
+	// checksum zeroed first, a torn prefix short of the new checksum fails
+	// validation, and one past it fails over the stale slot data.
+	m.dev.Store8(ctx, m.off(i)+entCksum, 0)
 	m.dev.Store8(ctx, m.off(i)+entLen, 0)
 	m.claims[i].Store(false)
 }
@@ -442,6 +641,13 @@ func decodeEntry(b []byte) (e logEntry, ok bool) {
 			n = 64
 		}
 	case entKindSnapCreate, entKindSnapDrop:
+		if count != 0 {
+			return e, false
+		}
+		n = 64
+	case entKindCursor:
+		// Area cursors carry no slots: the area id rides in the file-slot
+		// field and the claim high-water in the offset field.
 		if count != 0 {
 			return e, false
 		}

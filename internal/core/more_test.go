@@ -187,14 +187,16 @@ func TestManyFiles(t *testing.T) {
 	}
 }
 
-// TestMetaLogWaitsWhenFull: with every entry claimed, a new claim waits
-// until one is retired (the paper's §III-C1 overflow behaviour).
+// TestMetaLogWaitsWhenFull: with every op slot claimed, a new claim waits
+// until one is retired (the paper's §III-C1 overflow behaviour). A
+// 32-entry log spans two home areas whose slot 0 is each area's cursor,
+// leaving 2*metaAreaOpSlots claimable op slots.
 func TestMetaLogWaitsWhenFull(t *testing.T) {
 	dev := nvm.New(1<<20, sim.ZeroCosts())
 	ml := newMetaLog(dev, 0, 32)
 	ctx := sim.NewCtx(0, 1)
 	var held []int
-	for i := 0; i < 32; i++ {
+	for i := 0; i < 2*metaAreaOpSlots; i++ {
 		held = append(held, ml.claim(ctx, i))
 	}
 	got := make(chan int)

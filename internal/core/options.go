@@ -57,6 +57,15 @@ type Options struct {
 	LazyIntentionCleaning bool
 	// MinSearchTree enables the cached minimum search subtree (§III-B1).
 	MinSearchTree bool
+	// OptimisticReads serves reads lock-free when possible: the reader
+	// registers in a per-file Dekker gate, walks the tree without taking MGL
+	// locks, copies, then validates that no writer entered the file and that
+	// every visited node's version is unchanged and even — bailing to the
+	// ordinary locked path otherwise. Active only under LockMGL with the
+	// DRAM cache tier disabled (frame installs need the R locks); writers
+	// drain registered readers before mutating, so correctness never depends
+	// on the validation alone. See optread.go.
+	OptimisticReads bool
 	// CleanerInterval is the virtual-time period (nanoseconds) between
 	// background cleaner passes: cold shadow subtrees are written back, their
 	// log blocks reclaimed, and a checkpoint record persisted so Mount skips
@@ -105,6 +114,7 @@ func DefaultOptions() Options {
 		GreedyLocking:         true,
 		LazyIntentionCleaning: true,
 		MinSearchTree:         true,
+		OptimisticReads:       true,
 	}
 }
 

@@ -18,7 +18,7 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	f := h.f
 	fs := f.fs
-	fs.stats.Reads.Add(1)
+	fs.stats.Reads.Add(ctx.ID, 1)
 	began := ctx.Now()
 	size := f.size.Load()
 	if off >= size || len(p) == 0 {
@@ -28,8 +28,16 @@ func (h *handle) ReadAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	if int64(n) > size-off {
 		n = int(size - off)
 	}
-	fs.stats.UserReadBytes.Add(int64(n))
+	fs.stats.UserReadBytes.Add(ctx.ID, int64(n))
 	end := off + int64(n)
+
+	// Optimistic lock-free path (DESIGN.md §14): register in the Dekker gate,
+	// walk without locks, validate node versions after the copy. Any failure
+	// falls through to the locked path below. Gated to MGL without a cache
+	// tier, so the cache block never races this.
+	if fs.optGate && f.readOptimistic(ctx, p[:n], off, began) {
+		return n, nil
+	}
 
 	// Cache tier (DESIGN.md §13). Single-block reads try the optimistic
 	// latch-free frame probe first: hit means one DRAM copy instead of a tree

@@ -165,19 +165,44 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 	dropped := make(map[uint64]bool)
 	chains := make(map[chainKey][]logEntry)
 	var ebuf [entrySize]byte
-	for i := 0; i < fs.mlog.entries; i++ {
+	scanSlot := func(i int) {
 		dev.Read(ctx, ebuf[:], fs.mlog.off(i))
 		e, ok := decodeEntry(ebuf[:])
 		if !ok {
-			continue
+			return
 		}
 		switch e.kind {
+		case entKindCursor:
+			// Area bookkeeping, not an operation; its fileSlot is an area id
+			// and must never be grouped into a file's chains.
 		case entKindSnapCreate:
 			creates = append(creates, liveCreate{i, e})
 		case entKindSnapDrop:
 			dropped[uint64(e.offset)] = true
 		default:
 			chains[chainKey{e.fileSlot, e.group}] = append(chains[chainKey{e.fileSlot, e.group}], e)
+		}
+	}
+	if fs.mlog.areas == 0 {
+		for i := 0; i < fs.mlog.entries; i++ {
+			scanSlot(i)
+		}
+	} else {
+		// Per-worker home areas: each area's durable cursor (seeded from the
+		// device when the log was attached) is an upper bound on committed op
+		// slots — no entry ever commits above its area's persisted cursor, so
+		// the scan stops there. A torn or missing cursor only widens the scan
+		// back to the full area; it is never load-bearing for correctness.
+		for a := 0; a < fs.mlog.areas; a++ {
+			bound := metaAreaOpSlots
+			if fs.mlog.areaDurable[a].Load() {
+				bound = int(fs.mlog.areaHW[a].Load())
+				fs.stats.SlotsBounded.Add(int64(metaAreaOpSlots - bound))
+			}
+			base := a * metaAreaSlots
+			for s := 1; s <= bound; s++ {
+				scanSlot(base + s)
+			}
 		}
 	}
 	ckEpoch := uint8(fs.epoch.Load())
@@ -252,6 +277,9 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		}
 		keep[lc.idx] = true
 		fs.mlog.claims[lc.idx].Store(true)
+		// The live mark occupies its slot indefinitely; the volatile area
+		// high-water must cover it so no later cursor persists below it.
+		fs.mlog.floorHW(lc.idx)
 		f.snaps = append(f.snaps, &snapshot{id: id, size: lc.e.fileSize, epoch: lc.e.epoch, entry: lc.idx})
 		f.refs.Add(1)
 		if id > f.maxLiveSnap.Load() {
@@ -268,7 +296,22 @@ func Mount(ctx *sim.Ctx, dev *nvm.Device, opts Options) (*FS, error) {
 		if keep[i] {
 			continue
 		}
-		dev.Store8(ctx, fs.mlog.off(i)+entLen, 0)
+		if fs.mlog.areas > 0 && i%metaAreaSlots == 0 {
+			// Area cursor slot: a valid cursor keeps bounding future mounts
+			// (a torn one stays torn and the area simply scans fully).
+			continue
+		}
+		// Checksum first, then length — same anti-resurrection order as
+		// metaLog.retire: a slot must never hold a checksum-valid corpse that
+		// a torn future commit could revive by rewriting the length word.
+		// Already-clean slots (the common case on a mostly-idle log) are
+		// skipped so the sweep doesn't pay two stores per empty slot.
+		off := fs.mlog.off(i)
+		if dev.Load8(off+entLen) == 0 && dev.Load8(off+entCksum) == 0 {
+			continue
+		}
+		dev.Store8(ctx, off+entCksum, 0)
+		dev.Store8(ctx, off+entLen, 0)
 	}
 	dev.Fence(ctx)
 

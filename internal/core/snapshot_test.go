@@ -179,10 +179,15 @@ func TestSnapshotCreationConstantMediaWrites(t *testing.T) {
 			}
 		}
 		before := dev.Stats().MediaWriteBytes.Load()
+		curBefore := fs.stats.MetaCursorWrites.Load()
 		if _, err := fs.Snapshot(ctx, "f"); err != nil {
 			t.Fatal(err)
 		}
-		cost := dev.Stats().MediaWriteBytes.Load() - before
+		// An area-cursor persist (64 B) may ride along depending on how far
+		// the home area's rotation advanced during setup — amortized log
+		// bookkeeping, not part of the snapshot record. Normalize it out.
+		cursors := fs.stats.MetaCursorWrites.Load() - curBefore
+		cost := dev.Stats().MediaWriteBytes.Load() - before - 64*cursors
 		costs = append(costs, cost)
 		if cost > 256 {
 			t.Fatalf("%d MiB file: snapshot wrote %d media bytes, want O(one log entry)", mib, cost)
@@ -226,9 +231,9 @@ func TestSnapshotFastPathUnchanged(t *testing.T) {
 	}
 	perOp := (dev.Stats().MediaWriteBytes.Load() - before) / reps
 	// 2 media writes per op: the 4 KiB data store plus one metadata entry
-	// commit (+ the 8-byte retire).
-	if perOp > 4096+entrySize+16 {
-		t.Fatalf("fast-path overwrite costs %d media bytes/op, want <= %d", perOp, 4096+entrySize+16)
+	// commit (+ the 16-byte two-store retire: checksum kill then length).
+	if perOp > 4096+entrySize+24 {
+		t.Fatalf("fast-path overwrite costs %d media bytes/op, want <= %d", perOp, 4096+entrySize+24)
 	}
 	if fs.Stats().SnapshotPins.Load() != pins || fs.Stats().SnapshotCoWRewrites.Load() != cows {
 		t.Fatal("snapshot machinery engaged with no live snapshot")
@@ -249,6 +254,7 @@ func TestSnapshotCoWOverwriteCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.WriteAt(ctx, block, 0) // first CoW: pin + relocation
+	fs.prov.Alloc().Drain(ctx) // empty shard caches: exact-count audit below
 	used := fs.prov.Alloc().UsedBlocks()
 	before := dev.Stats().MediaWriteBytes.Load()
 	const reps = 10
@@ -261,6 +267,7 @@ func TestSnapshotCoWOverwriteCost(t *testing.T) {
 	if perOp > 4096+2*entrySize+64 {
 		t.Fatalf("snapped overwrite costs %d media bytes/op, want ~2 media writes", perOp)
 	}
+	fs.prov.Alloc().Drain(ctx)
 	if got := fs.prov.Alloc().UsedBlocks(); got != used {
 		t.Fatalf("steady-state CoW overwrites leak blocks: %d -> %d", used, got)
 	}

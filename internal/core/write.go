@@ -45,8 +45,8 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	}
 	f := h.f
 	fs := f.fs
-	fs.stats.Writes.Add(1)
-	fs.stats.UserWriteBytes.Add(int64(len(p)))
+	fs.stats.Writes.Add(ctx.ID, 1)
+	fs.stats.UserWriteBytes.Add(ctx.ID, int64(len(p)))
 	began := ctx.Now()
 	// Write-back fast path (DESIGN.md §13): a single-block overwrite whose
 	// block is already framed lands in the dirty frame and is acknowledged at
@@ -67,6 +67,9 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 	// piggyback pass never starts while this op holds node locks.
 	fs.inFlight.Add(1)
 	defer fs.opExit(ctx)
+	// Drain optimistic readers before mutating anything they might copy.
+	f.writerEnter()
+	defer f.writerExit()
 	if fs.flusher != nil {
 		// Direct writes exclude drains for the whole op (frame patches below
 		// must not interleave with a drain collecting stale content). LIFO
@@ -202,7 +205,7 @@ func (f *file) commitChanges(ctx *sim.Ctx, entry int, off, length, newSize int64
 	// The first entry persists last: it completes the chain, making it the
 	// commit point.
 	fs.mlog.commit(ctx, entry, f.pf.Slot(), off, length, newSize, first, group, 0, chainLen, epoch)
-	fs.stats.MetaEntries.Add(int64(chainLen))
+	fs.stats.MetaEntries.Add(ctx.ID, int64(chainLen))
 
 	for _, c := range changes {
 		c.n.word.Store(c.new)
@@ -259,7 +262,7 @@ func (f *file) commitChangesSnap(ctx *sim.Ctx, entry int, off, length, newSize i
 		first = first[:snapOpSlots]
 	}
 	fs.mlog.commitSnap(ctx, entry, f.pf.Slot(), off, length, newSize, first, group, 0, chainLen, epoch)
-	fs.stats.MetaEntries.Add(int64(chainLen))
+	fs.stats.MetaEntries.Add(ctx.ID, int64(chainLen))
 
 	for _, c := range changes {
 		c.n.word.Store(c.new)

@@ -11,6 +11,10 @@ const wbChunk = 64 * 1024
 // opened by any thread, MGSP will write all logs back to the original file
 // and release related metadata"), also used as the final stage of recovery.
 func (f *file) writeback(ctx *sim.Ctx) {
+	// Write-back holds no node locks; drain optimistic readers so none reads
+	// a log block mid-release or the file mid-copy.
+	f.writerEnter()
+	defer f.writerExit()
 	root := f.root.Load()
 	if root != nil {
 		f.wbWalk(ctx, root, root.offset(), root.offset()+root.span, nil)

@@ -31,13 +31,13 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 	}
 	f := h.f
 	fs := f.fs
-	fs.stats.Writes.Add(1)
+	fs.stats.Writes.Add(ctx.ID, 1)
 	began := ctx.Now()
 	var userBytes int64
 	for _, u := range updates {
 		userBytes += int64(len(u.Data))
 	}
-	fs.stats.UserWriteBytes.Add(userBytes)
+	fs.stats.UserWriteBytes.Add(ctx.ID, userBytes)
 	// In-flight window for the checkpoint quiesce; exits after lock release
 	// (LIFO defers), see WriteAt.
 	fs.inFlight.Add(1)
@@ -69,6 +69,9 @@ func (h *handle) WriteMulti(ctx *sim.Ctx, updates []Update) error {
 // Returns the op's extent [lo, maxEnd) for the caller's bookkeeping.
 func (f *file) writeMulti(ctx *sim.Ctx, updates []Update, acct bool) (int64, int64, error) {
 	fs := f.fs
+	// Drain optimistic readers before mutating anything they might copy.
+	f.writerEnter()
+	defer f.writerExit()
 	// Validate and find the op's extent.
 	var maxEnd int64
 	lo := updates[0].Off

@@ -53,6 +53,12 @@ type Config struct {
 	// SkipLayout leaves the file unwritten before measurement (default is
 	// to lay the file out first, as FIO does).
 	SkipLayout bool
+	// Disjoint confines random workloads to per-worker regions (FIO's
+	// offset_increment applied to random ops): each worker draws offsets
+	// only from its own FileSize/Threads stripe. This is the scalability
+	// harness of fig10's disjoint-writer rows — contention-free by
+	// construction, so any serialization measured is the file system's own.
+	Disjoint bool
 }
 
 // Result is one FIO run's outcome.
@@ -253,6 +259,9 @@ func worker(ctx *sim.Ctx, fs vfs.FS, cfg Config, id int, bar *barrier) (userWrit
 	seqOff := base
 	next := func(random bool) int64 {
 		if random {
+			if cfg.Disjoint {
+				return base + ctx.Rand.Int63n(region/int64(cfg.BS))*int64(cfg.BS)
+			}
 			return ctx.Rand.Int63n(nBlocks) * int64(cfg.BS)
 		}
 		off := seqOff

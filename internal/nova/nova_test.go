@@ -175,6 +175,7 @@ func TestRemoveReclaimsSpace(t *testing.T) {
 	if err := fs.Remove(ctx, "f"); err != nil {
 		t.Fatal(err)
 	}
+	fs.alloc.Drain(ctx) // flush shard caches: exact-count audit below
 	if used := fs.alloc.UsedBlocks(); used != 0 {
 		t.Fatalf("%d blocks leaked after remove", used)
 	}

@@ -98,6 +98,14 @@ func (r *Registry) RegisterFunc(name string, f func() float64) {
 	r.put(name, metric{kind: kindFunc, f: f})
 }
 
+// RegisterSharded registers a ShardedCounter under name. The per-cell
+// layout is an implementation detail; snapshots see the summed value, so a
+// counter can move between Counter and ShardedCounter without changing any
+// exported metric name.
+func (r *Registry) RegisterSharded(name string, c *ShardedCounter) {
+	r.put(name, metric{kind: kindFunc, f: func() float64 { return float64(c.Load()) }})
+}
+
 // Snapshot is a point-in-time copy of a registry, the unit every exporter
 // consumes. Values holds counters, gauges, and derived metrics; Hists holds
 // histogram snapshots.

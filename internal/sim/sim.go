@@ -282,21 +282,47 @@ func NewTimeline(n int) *Timeline {
 
 // Reserve books dur nanoseconds of service starting no earlier than ctx's
 // current time on the channel that can complete it first, and advances ctx
-// to the completion time.
+// to the completion time. Probing starts at the worker's home channel (a
+// hash of Ctx.ID) so that start-time ties — the common case on an idle or
+// lightly loaded timeline — spread across channels instead of all breaking
+// toward channel 0; best-fit still wins whenever a strictly earlier start
+// exists elsewhere, so saturation behavior is unchanged.
 func (t *Timeline) Reserve(ctx *Ctx, dur int64) {
 	if dur <= 0 {
 		return
 	}
+	n := len(t.channels)
+	home := WorkerHash(ctx.ID) % n
 	best := -1
 	var bestStart int64
-	for i := range t.channels {
-		s := t.channels[i].probe(ctx.now, dur)
+	for i := 0; i < n; i++ {
+		ch := home + i
+		if ch >= n {
+			ch -= n
+		}
+		s := t.channels[ch].probe(ctx.now, dur)
 		if best < 0 || s < bestStart {
-			best, bestStart = i, s
+			best, bestStart = ch, s
 		}
 	}
 	start := t.channels[best].book(ctx.now, dur)
 	ctx.AdvanceTo(start + dur)
+}
+
+// WorkerHash mixes a worker ID into a well-spread non-negative value. Worker
+// IDs are not dense — foreground workers count 0..N-1 but background actors
+// use sparse power-of-two IDs (cleaner 1<<20, flusher 1<<21) — so a plain
+// modulus would collide them all onto slot 0. The xor-folds pull high bits
+// down before the multiplicative scramble; for IDs 0..63 the low six bits
+// remain a bijection (the folds are identity there and the multiplier is
+// odd), which gives small worker fleets perfectly disjoint homes in any
+// power-of-two table of at least their size.
+func WorkerHash(id int) int {
+	h := uint32(id)
+	h ^= h >> 16
+	h ^= h >> 8
+	h *= 0x9E3779B1
+	return int(h & 0x7FFFFFFF)
 }
 
 // probe returns where a reservation would start (without booking).

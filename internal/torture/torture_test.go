@@ -76,6 +76,65 @@ func TestTortureSweepConcurrent(t *testing.T) {
 	}
 }
 
+// TestTortureSweepManyCore is the many-core gate for the per-worker home
+// areas: 8 and 16 racing writers (each with its own metadata-log home area
+// and allocator shard), 100 sampled crash indices per width — 200 points
+// total — with the full op-atomicity, snapshot, and allocator-audit oracle
+// after every recovery. Recovery must stitch every worker's area: a missed
+// area would surface here as a lost committed write.
+func TestTortureSweepManyCore(t *testing.T) {
+	const samples = 100
+	for _, writers := range []int{8, 16} {
+		writers := writers
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Writers: writers, Seed: int64(writers) * 131}
+			res, err := Sweep(cfg, samples, int64(writers)*99991+29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Samples != samples {
+				t.Fatalf("ran %d samples, want %d", res.Samples, samples)
+			}
+			if res.Crashed == 0 {
+				t.Fatalf("no sampled crash index hit the fail point (range %d)", res.TotalOps)
+			}
+			t.Logf("media-op range %d: %d crashed, %d completed past the workload",
+				res.TotalOps, res.Crashed, res.Completed)
+			for _, v := range res.Violations {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestTortureSerialDeterministicManyCore extends the replay contract to 16
+// writers: with per-worker home slots every writer appends through its own
+// area cursor, and the serial schedule must still be a pure function of
+// (seed, writers, crash) — same media-op stream, same crash placement, same
+// schedule, run after run.
+func TestTortureSerialDeterministicManyCore(t *testing.T) {
+	run := func() *Result {
+		res, err := Replay(77, 16, 25, 900, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Crashed || !b.Crashed {
+		t.Fatalf("expected both runs to crash (a=%v b=%v); pick a smaller crash index", a.Crashed, b.Crashed)
+	}
+	if a.CrashOp != b.CrashOp || a.CrashWorker != b.CrashWorker || a.MediaOps != b.MediaOps {
+		t.Fatalf("serial replay diverged: crashOp %d/%d, crashWorker %d/%d, mediaOps %d/%d",
+			a.CrashOp, b.CrashOp, a.CrashWorker, b.CrashWorker, a.MediaOps, b.MediaOps)
+	}
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Fatalf("serial replay schedules diverged:\n%s\nvs\n%s", a.Schedule, b.Schedule)
+	}
+	failViolations(t, a)
+}
+
 // TestTortureSweepSerial covers the deterministic mode's crash/remount path
 // across sampled indices: same oracle, single goroutine, seeded round-robin
 // interleaving.
