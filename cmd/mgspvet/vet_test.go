@@ -1,0 +1,40 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestTreeClean builds the vettool and runs it over the whole repository,
+// asserting zero unsuppressed findings. This is the merge gate in test form:
+// a PR that introduces a lock-order inversion, an unfenced dependent store,
+// or a leaky optimistic read section fails `go test ./...` even if it never
+// ran `make vet`.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds the vettool and re-vets the tree")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/mgspvet -> repo root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "mgspvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/mgspvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mgspvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("mgspvet is not clean on the tree: %v\n%s", err, out)
+	}
+}

@@ -13,9 +13,19 @@
 //
 // with one or more backquoted or double-quoted regexps per comment. Run
 // fails the test on any unmatched expectation or unexpected diagnostic.
+//
+// Facts: the harness keeps a per-Run fact store keyed by (object|package,
+// fact type). Before analyzing the named package it runs the full analyzer
+// DAG over every testdata package it (transitively) imports, in dependency
+// order, discarding their diagnostics — so ExportObjectFact in a dependency
+// is visible to ImportObjectFact in the named package, exactly as under the
+// real vet driver. Exported facts are round-tripped through gob to catch
+// non-serializable fact types at test time rather than in CI vet.
 package analysistest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -24,6 +34,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"runtime"
 	"sort"
@@ -41,20 +52,39 @@ type loadedPkg struct {
 	err   error
 }
 
+// objFactKey / pkgFactKey key the fact store by owner and concrete fact type,
+// matching the real driver's one-fact-per-(object,type) semantics.
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
 type loader struct {
-	fset *token.FileSet
-	root string // testdata/src
-	pkgs map[string]*loadedPkg
-	std  types.Importer
+	fset     *token.FileSet
+	root     string // testdata/src
+	pkgs     map[string]*loadedPkg
+	order    []*loadedPkg // topological: dependencies before importers
+	std      types.Importer
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+	results  map[*loadedPkg]map[*analysis.Analyzer]interface{}
 }
 
 func newLoader(root string) *loader {
 	fset := token.NewFileSet()
 	return &loader{
-		fset: fset,
-		root: root,
-		pkgs: make(map[string]*loadedPkg),
-		std:  importer.ForCompiler(fset, "source", nil),
+		fset:     fset,
+		root:     root,
+		pkgs:     make(map[string]*loadedPkg),
+		std:      importer.ForCompiler(fset, "source", nil),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+		results:  make(map[*loadedPkg]map[*analysis.Analyzer]interface{}),
 	}
 }
 
@@ -104,35 +134,100 @@ func (l *loader) load(path, dir string) *loadedPkg {
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
 	p.pkg, p.err = conf.Check(path, l.fset, p.files, p.info)
+	// Dependencies finish loading during Check, so append order is
+	// topological (dependencies first).
+	l.order = append(l.order, p)
 	return p
 }
 
-// runAnalyzer executes a (and, recursively, its Requires) on the package.
+// gobRoundtrip re-materializes a fact through gob, mirroring what the real
+// vet driver does across compilation units. Fact types that cannot survive
+// gob fail here instead of silently dropping facts in CI.
+func gobRoundtrip(f analysis.Fact) (analysis.Fact, error) {
+	var buf bytes.Buffer
+	src := reflect.ValueOf(f)
+	if src.Kind() != reflect.Ptr {
+		return nil, fmt.Errorf("fact %T is not a pointer", f)
+	}
+	if err := gob.NewEncoder(&buf).EncodeValue(src.Elem()); err != nil {
+		return nil, err
+	}
+	dst := reflect.New(src.Type().Elem())
+	if err := gob.NewDecoder(&buf).DecodeValue(dst.Elem()); err != nil {
+		return nil, err
+	}
+	return dst.Interface().(analysis.Fact), nil
+}
+
+// runAnalyzer executes a (and, recursively, its Requires) on the package,
+// wiring the loader's cross-package fact store into the pass. Results are
+// cached per (package, analyzer) so shared dependencies run once.
 func runAnalyzer(t *testing.T, l *loader, p *loadedPkg, a *analysis.Analyzer,
-	results map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic)) interface{} {
+	report func(analysis.Diagnostic)) interface{} {
+	results := l.results[p]
+	if results == nil {
+		results = make(map[*analysis.Analyzer]interface{})
+		l.results[p] = results
+	}
 	if r, ok := results[a]; ok {
 		return r
 	}
 	deps := make(map[*analysis.Analyzer]interface{})
 	for _, req := range a.Requires {
-		deps[req] = runAnalyzer(t, l, p, req, results, report)
+		deps[req] = runAnalyzer(t, l, p, req, report)
 	}
 	pass := &analysis.Pass{
-		Analyzer:          a,
-		Fset:              l.fset,
-		Files:             p.files,
-		Pkg:               p.pkg,
-		TypesInfo:         p.info,
-		TypesSizes:        types.SizesFor("gc", runtime.GOARCH),
-		ResultOf:          deps,
-		Report:            report,
-		ReadFile:          os.ReadFile,
-		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-		ExportObjectFact:  func(types.Object, analysis.Fact) {},
-		ExportPackageFact: func(analysis.Fact) {},
-		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   deps,
+		Report:     report,
+		ReadFile:   os.ReadFile,
+		ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+			got, ok := l.objFacts[objFactKey{obj, reflect.TypeOf(f)}]
+			if ok {
+				reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+			}
+			return ok
+		},
+		ImportPackageFact: func(pkg *types.Package, f analysis.Fact) bool {
+			got, ok := l.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(f)}]
+			if ok {
+				reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+			}
+			return ok
+		},
+		ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+			rt, err := gobRoundtrip(f)
+			if err != nil {
+				t.Fatalf("analyzer %s: object fact %T not gob-serializable: %v", a.Name, f, err)
+			}
+			l.objFacts[objFactKey{obj, reflect.TypeOf(f)}] = rt
+		},
+		ExportPackageFact: func(f analysis.Fact) {
+			rt, err := gobRoundtrip(f)
+			if err != nil {
+				t.Fatalf("analyzer %s: package fact %T not gob-serializable: %v", a.Name, f, err)
+			}
+			l.pkgFacts[pkgFactKey{p.pkg, reflect.TypeOf(f)}] = rt
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, f := range l.objFacts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, f := range l.pkgFacts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+			}
+			return out
+		},
 	}
 	res, err := a.Run(pass)
 	if err != nil {
@@ -235,8 +330,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 				t.Fatalf("loading %s: %v", pkgpath, err)
 			}
 			p := l.pkgs[pkgpath]
+			// Analyze testdata dependencies first (l.order is topological)
+			// so their exported facts are in the store; their diagnostics
+			// belong to their own Run entries and are discarded here.
+			for _, q := range l.order {
+				if q != p && q.err == nil {
+					runAnalyzer(t, l, q, a, func(analysis.Diagnostic) {})
+				}
+			}
 			var diags []analysis.Diagnostic
-			runAnalyzer(t, l, p, a, make(map[*analysis.Analyzer]interface{}),
+			runAnalyzer(t, l, p, a,
 				func(d analysis.Diagnostic) { diags = append(diags, d) })
 
 			wants := parseWants(t, l.fset, p.files)

@@ -23,6 +23,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -30,6 +31,8 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
 )
 
 const doc = `check obs metric values are not copied and raw 64-bit atomic fields are aligned and accessed atomically
@@ -40,10 +43,11 @@ offsets (32-bit platforms guarantee only 4-byte struct alignment) and must
 not be read or written non-atomically elsewhere in the package.`
 
 var Analyzer = &analysis.Analyzer{
-	Name:     "atomicfield",
-	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      run,
+	Name:       "atomicfield",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer, summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
 }
 
 func isObsMetric(t types.Type) bool {
@@ -65,21 +69,18 @@ func metricName(t types.Type) string {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
 	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "obs") {
-		return nil, nil // the accessors themselves live here
+		return dirs, nil // the accessors themselves live here
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
-	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
 
 	reportCopy := func(pos ast.Node, t types.Type, how string) {
-		if dirs.Has(pos.Pos(), mgspmatch.AtomicCopyOK) {
-			return
-		}
-		pass.Report(analysis.Diagnostic{
-			Pos: pos.Pos(),
-			Message: fmt.Sprintf("%s %s: copying forks the atomic cell; use the pointer accessors (Add/Load/Store/Set/Observe) or a pointer",
-				how, metricName(t)),
-		})
+		msg := fmt.Sprintf("%s %s: copying forks the atomic cell; use the pointer accessors (Add/Load/Store/Set/Observe) or a pointer",
+			how, metricName(t))
+		suppressed := dirs.Suppress(pos.Pos(), mgspmatch.AtomicCopyOK)
+		vetreport.Report(pass, sum.ReportPath, pos.Pos(), msg, suppressed)
 	}
 
 	// metricValue returns the obs metric type if e evaluates to a metric BY
@@ -144,8 +145,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	})
 
 	// ---- invariant 2: raw 64-bit atomic fields ----
-	checkRawFields(pass, ins, dirs)
-	return nil, nil
+	checkRawFields(pass, ins, dirs, sum.ReportPath)
+	return dirs, nil
 }
 
 // fieldKey identifies a struct field.
@@ -154,7 +155,7 @@ type fieldKey struct {
 	field *types.Var
 }
 
-func checkRawFields(pass *analysis.Pass, ins *inspector.Inspector, dirs *mgspmatch.Directives) {
+func checkRawFields(pass *analysis.Pass, ins *inspector.Inspector, dirs *mgspmatch.Directives, reportPath string) {
 	// Pass 1: find &x.f arguments of sync/atomic *Int64/*Uint64 functions.
 	atomicArgs := make(map[*ast.SelectorExpr]bool) // selectors used under & in atomic calls
 	fields := make(map[fieldKey]ast.Node)          // atomically-used raw fields -> first call site
@@ -223,16 +224,12 @@ func checkRawFields(pass *analysis.Pass, ins *inspector.Inspector, dirs *mgspmat
 		if idx < 0 {
 			continue
 		}
-		if dirs.Has(site.Pos(), mgspmatch.UnalignedOK) {
-			continue
-		}
 		off := sizes.Offsetsof(all)[idx]
 		if off%8 != 0 {
-			pass.Report(analysis.Diagnostic{
-				Pos: site.Pos(),
-				Message: fmt.Sprintf("atomic 64-bit access to %s.%s, which is at offset %d on 32-bit platforms (not 8-byte aligned): move the field to the front of the struct or use atomic.Int64/Uint64",
-					k.typ.Obj().Name(), k.field.Name(), off),
-			})
+			msg := fmt.Sprintf("atomic 64-bit access to %s.%s, which is at offset %d on 32-bit platforms (not 8-byte aligned): move the field to the front of the struct or use atomic.Int64/Uint64",
+				k.typ.Obj().Name(), k.field.Name(), off)
+			suppressed := dirs.Suppress(site.Pos(), mgspmatch.UnalignedOK)
+			vetreport.Report(pass, reportPath, site.Pos(), msg, suppressed)
 		}
 	}
 
@@ -260,13 +257,9 @@ func checkRawFields(pass *analysis.Pass, ins *inspector.Inspector, dirs *mgspmat
 		if _, tracked := fields[fieldKey{named, f}]; !tracked {
 			return
 		}
-		if dirs.Has(sel.Pos(), mgspmatch.AtomicCopyOK) {
-			return
-		}
-		pass.Report(analysis.Diagnostic{
-			Pos: sel.Pos(),
-			Message: fmt.Sprintf("non-atomic access to %s.%s, which is accessed with sync/atomic elsewhere in this package: mixing modes races",
-				named.Obj().Name(), f.Name()),
-		})
+		msg := fmt.Sprintf("non-atomic access to %s.%s, which is accessed with sync/atomic elsewhere in this package: mixing modes races",
+			named.Obj().Name(), f.Name())
+		suppressed := dirs.Suppress(sel.Pos(), mgspmatch.AtomicCopyOK)
+		vetreport.Report(pass, reportPath, sel.Pos(), msg, suppressed)
 	})
 }

@@ -56,6 +56,16 @@ func appendCalls(out []*ast.CallExpr, n ast.Node) []*ast.CallExpr {
 				}
 			}
 			return false
+		case *ast.GoStmt:
+			// Same split as defer: operands evaluate at the go statement,
+			// the call runs on another goroutine and never on this path.
+			if x.Call != nil {
+				ast.Inspect(x.Call.Fun, visit)
+				for _, a := range x.Call.Args {
+					ast.Inspect(a, visit)
+				}
+			}
+			return false
 		case *ast.CallExpr:
 			// Post-order: operands first, then the call.
 			ast.Inspect(x.Fun, visit)
@@ -132,6 +142,103 @@ func ReachableAfter(g *cfg.CFG, p Pos, classify func(*ast.CallExpr) Class) *ast.
 		}
 	}
 	return nil
+}
+
+// ExitReachableAfter reports whether some path from the call at p
+// (exclusive) reaches a function exit — a successor-less block, i.e. a
+// return or a no-return call — without crossing a call classified Stop.
+// Hit classifications are treated as Continue; only Stop prunes paths.
+func ExitReachableAfter(g *cfg.CFG, p Pos, classify func(*ast.CallExpr) Class) bool {
+	calls := Calls(p.Block)
+	for _, c := range calls[p.Index+1:] {
+		if classify(c) == Stop {
+			return false
+		}
+	}
+	if len(p.Block.Succs) == 0 {
+		return true
+	}
+	seen := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, c := range Calls(b) {
+			if classify(c) == Stop {
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range p.Block.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Preds returns the predecessor map of g's blocks.
+func Preds(g *cfg.CFG) map[*cfg.Block][]*cfg.Block {
+	preds := make(map[*cfg.Block][]*cfg.Block)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// Between returns the set of blocks lying on some path from block from to
+// block to, inclusive of both endpoints: forward reachability from `from`
+// intersected with backward reachability from `to`. When to is unreachable
+// from from, the result is empty.
+func Between(g *cfg.CFG, from, to *cfg.Block) map[*cfg.Block]bool {
+	fwd := make(map[*cfg.Block]bool)
+	var down func(b *cfg.Block)
+	down = func(b *cfg.Block) {
+		if fwd[b] {
+			return
+		}
+		fwd[b] = true
+		for _, s := range b.Succs {
+			down(s)
+		}
+	}
+	down(from)
+	if !fwd[to] {
+		return nil
+	}
+	preds := Preds(g)
+	bwd := make(map[*cfg.Block]bool)
+	var up func(b *cfg.Block)
+	up = func(b *cfg.Block) {
+		if bwd[b] {
+			return
+		}
+		bwd[b] = true
+		for _, p := range preds[b] {
+			up(p)
+		}
+	}
+	up(to)
+	out := make(map[*cfg.Block]bool)
+	for b := range fwd {
+		if bwd[b] {
+			out[b] = true
+		}
+	}
+	return out
 }
 
 // ReachableFromEntry walks forward from the function entry and returns the

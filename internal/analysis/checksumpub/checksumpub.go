@@ -17,6 +17,7 @@ package checksumpub
 import (
 	"fmt"
 	"go/ast"
+	"reflect"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -25,6 +26,8 @@ import (
 
 	"mgsp/internal/analysis/cfgscan"
 	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
 )
 
 const doc = `check that a media publish is not reachable before the checksum assignment
@@ -35,10 +38,11 @@ far side of the checksum computation on all paths from function entry.
 Suppress with //mgsp:unchecksummed-publish <justification>.`
 
 var Analyzer = &analysis.Analyzer{
-	Name:     "checksumpub",
-	Doc:      doc,
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
-	Run:      run,
+	Name:       "checksumpub",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
 }
 
 // isChecksumCall reports whether c computes a checksum: a crc32/crc64
@@ -59,11 +63,12 @@ func isChecksumCall(pass *analysis.Pass, c *ast.CallExpr) bool {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
 	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") {
-		return nil, nil
+		return dirs, nil
 	}
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
-	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
 
 	check := func(g *cfg.CFG) {
 		if g == nil {
@@ -87,9 +92,6 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return
 		}
 		for _, pub := range publishes {
-			if dirs.Has(pub.Pos(), mgspmatch.UnchecksummedPublish) {
-				continue
-			}
 			hit := cfgscan.ReachableFromEntry(g, func(c *ast.CallExpr) cfgscan.Class {
 				if c == pub {
 					return cfgscan.Hit
@@ -101,11 +103,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			})
 			if hit != nil {
 				m := mgspmatch.DeviceMethod(pass.TypesInfo, pub)
-				pass.Report(analysis.Diagnostic{
-					Pos: pub.Pos(),
-					Message: fmt.Sprintf("Device.%s publish reachable before the checksum is computed: a crash here persists an entry whose checksum field is stale; compute the checksum on every path first or annotate //mgsp:unchecksummed-publish",
-						m),
-				})
+				msg := fmt.Sprintf("Device.%s publish reachable before the checksum is computed: a crash here persists an entry whose checksum field is stale; compute the checksum on every path first or annotate //mgsp:unchecksummed-publish",
+					m)
+				suppressed := dirs.Suppress(pub.Pos(), mgspmatch.UnchecksummedPublish)
+				vetreport.Report(pass, sum.ReportPath, pub.Pos(), msg, suppressed)
 			}
 		}
 	}
@@ -123,5 +124,5 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-	return nil, nil
+	return dirs, nil
 }

@@ -6,13 +6,15 @@
 // three such leaks (directory.create, DropSnapshot x2) found only by a
 // 200-point torture sweep; this analyzer catches the shape at vet time.
 //
-// A "crash point" is (a) a direct nvm.Device media-op call, (b) a call to a
-// same-package function that transitively performs one, or (c) a call into
-// another non-sim/non-obs package that takes a *sim.Ctx parameter — in this
-// codebase ctx is threaded precisely through the operations that can issue
-// media ops. Locks are recognized by method name (Lock/RLock acquire,
-// Unlock/RUnlock release) paired by receiver expression. A Lock with no
-// same-function Unlock on the same receiver is an intentional
+// A "crash point" is classified by the summary engine (DESIGN.md §15): a
+// direct nvm.Device media-op call, or a call to any function — same package
+// or not — whose effect summary says it transitively performs one. Only a
+// callee with no summary at all (an interface method, or a function behind
+// dynamic dispatch) falls back to the *sim.Ctx-parameter approximation.
+// Locks are recognized by method name (Lock/RLock/LockLazy acquire,
+// Unlock/RUnlock release) paired by receiver expression. A Lock whose
+// release is neither in this function (by receiver) nor in a callee (by
+// lock class, per the callee's Releases summary) is an intentional
 // acquire-and-escape handoff (e.g. lockOp/release) and is not tracked.
 // Suppress a finding with //mgsp:crash-locked <justification>.
 package crashsafelocks
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"reflect"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
@@ -28,6 +31,8 @@ import (
 
 	"mgsp/internal/analysis/cfgscan"
 	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
 )
 
 const doc = `check that locks are not held across crash-injection points without a deferred unlock
@@ -37,17 +42,18 @@ the same path then leaks the lock. Use defer, or a locked closure around the
 media-op section. Suppress with //mgsp:crash-locked <justification>.`
 
 var Analyzer = &analysis.Analyzer{
-	Name:     "crashsafelocks",
-	Doc:      doc,
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
-	Run:      run,
+	Name:       "crashsafelocks",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
 }
 
-func isAcquire(name string) bool { return name == "Lock" || name == "RLock" }
-func isRelease(name string) bool { return name == "Unlock" || name == "RUnlock" }
+func isAcquire(name string) bool { return summary.IsBlockingAcquire(name) }
+func isRelease(name string) bool { return summary.IsRelease(name) }
 
-// lockMethod returns the method name if call is any Lock/RLock/Unlock/
-// RUnlock method call, with a non-empty receiver key.
+// lockMethod returns the method name if call is any acquire/release lock
+// method call, with a non-empty receiver key.
 func lockMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
 	fn := mgspmatch.Callee(info, call)
 	if fn == nil {
@@ -65,83 +71,99 @@ func lockMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
 	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") ||
 		mgspmatch.PkgPathIs(pass.Pkg.Path(), "sim") {
 		// The device and simulator implement the crash machinery itself.
-		return nil, nil
+		return dirs, nil
 	}
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
-	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
-	crashFns := localCrashFuncs(pass)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
 
-	// isCrashPoint classifies one call as able to panic at a crash-injection
-	// fail point.
-	isCrashPoint := func(c *ast.CallExpr) bool {
-		if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); m != "" {
-			return mgspmatch.DeviceMediaOps[m]
-		}
-		fn := mgspmatch.Callee(pass.TypesInfo, c)
-		if fn == nil || fn.Pkg() == nil {
+	// releasesClass reports whether call's callee transitively releases the
+	// lock class cls (a release helper standing in for a direct Unlock).
+	releasesClass := func(c *ast.CallExpr, cls string) bool {
+		if cls == "" {
 			return false
 		}
-		if isAcquire(fn.Name()) || isRelease(fn.Name()) || fn.Name() == "TryLock" ||
-			fn.Name() == "TryRLock" || fn.Name() == "TryLockHint" || fn.Name() == "LockLazy" {
-			return false // lock ops take ctx for cost accounting only
-		}
-		if fn.Pkg() == pass.Pkg {
-			return crashFns[fn]
-		}
-		p := fn.Pkg().Path()
-		if mgspmatch.PkgPathIs(p, "sim") || mgspmatch.PkgPathIs(p, "obs") {
+		s := sum.CallSummary(c)
+		if s == nil {
 			return false
 		}
-		return mgspmatch.HasSimCtxParam(fn)
+		for _, rel := range s.Releases {
+			if rel == cls {
+				return true
+			}
+		}
+		return false
 	}
 
 	check := func(g *cfg.CFG, deferred map[string]bool) {
 		if g == nil {
 			return
 		}
-		// Receivers with at least one non-deferred release in this function:
-		// only those locks are tracked; acquire-without-release is a handoff
-		// to the caller, which this intra-procedural check cannot follow.
+		// Receivers with a non-deferred release in this function — directly,
+		// or through a callee whose summary releases the receiver's lock
+		// class. Acquires of anything else are handoffs to the caller.
 		released := make(map[string]bool)
+		classOf := make(map[string]string)
 		for _, b := range g.Blocks {
 			for _, c := range cfgscan.Calls(b) {
-				if n, recv := lockMethod(pass.TypesInfo, c); isRelease(n) && recv != "" {
-					released[recv] = true
+				if n, recv := lockMethod(pass.TypesInfo, c); recv != "" {
+					if isRelease(n) {
+						released[recv] = true
+					}
+					if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+						classOf[recv] = summary.LockClass(pass.TypesInfo, sel.X)
+					}
 				}
 			}
 		}
 		for _, b := range g.Blocks {
 			for i, call := range cfgscan.Calls(b) {
 				name, recv := lockMethod(pass.TypesInfo, call)
-				if !isAcquire(name) || recv == "" || deferred[recv] || !released[recv] {
+				if !isAcquire(name) || recv == "" || deferred[recv] {
 					continue
 				}
-				if dirs.Has(call.Pos(), mgspmatch.CrashLocked) {
-					continue
+				cls := classOf[recv]
+				if !released[recv] {
+					// No local unlock: still tracked when a callee releases
+					// the class on this function's behalf; otherwise handoff.
+					calleeReleases := false
+					for _, b2 := range g.Blocks {
+						for _, c2 := range cfgscan.Calls(b2) {
+							if releasesClass(c2, cls) {
+								calleeReleases = true
+							}
+						}
+					}
+					if !calleeReleases {
+						continue
+					}
 				}
 				hit := cfgscan.ReachableAfter(g, cfgscan.Pos{Block: b, Index: i}, func(c *ast.CallExpr) cfgscan.Class {
 					if n, r := lockMethod(pass.TypesInfo, c); isRelease(n) && r == recv {
 						return cfgscan.Stop
 					}
-					if isCrashPoint(c) {
+					if releasesClass(c, cls) {
+						return cfgscan.Stop
+					}
+					if sum.IsCrashPoint(c) {
 						return cfgscan.Hit
 					}
 					return cfgscan.Continue
 				})
-				if hit != nil {
-					what := "media op"
-					if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
-						what = fn.Name()
-					}
-					pass.Report(analysis.Diagnostic{
-						Pos: call.Pos(),
-						Message: fmt.Sprintf("%s.%s held across potential crash point %s without a deferred unlock: a crash-injection panic leaks the lock; defer %s.Unlock or wrap the section in a locked closure",
-							recv, name, what, recv),
-					})
+				if hit == nil {
+					continue
 				}
+				what := "media op"
+				if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
+					what = fn.Name()
+				}
+				msg := fmt.Sprintf("%s.%s held across potential crash point %s without a deferred unlock: a crash-injection panic leaks the lock; defer %s.Unlock or wrap the section in a locked closure",
+					recv, name, what, recv)
+				suppressed := dirs.Suppress(call.Pos(), mgspmatch.CrashLocked)
+				vetreport.Report(pass, sum.ReportPath, call.Pos(), msg, suppressed)
 			}
 		}
 	}
@@ -159,7 +181,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-	return nil, nil
+	return dirs, nil
 }
 
 // deferredUnlocks returns the receiver keys released by defer statements of
@@ -192,68 +214,4 @@ func deferredUnlocks(info *types.Info, body *ast.BlockStmt) map[string]bool {
 		return true
 	})
 	return out
-}
-
-// localCrashFuncs computes the set of package-local functions that
-// transitively perform a media op (directly on nvm.Device, or by calling
-// into a ctx-taking function of another non-sim/non-obs package).
-func localCrashFuncs(pass *analysis.Pass) map[*types.Func]bool {
-	bodies := make(map[*types.Func]*ast.BlockStmt)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				bodies[fn] = fd.Body
-			}
-		}
-	}
-	crash := make(map[*types.Func]bool)
-	calls := make(map[*types.Func][]*types.Func) // caller -> local callees
-	for fn, body := range bodies {
-		ast.Inspect(body, func(n ast.Node) bool {
-			c, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); mgspmatch.DeviceMediaOps[m] {
-				crash[fn] = true
-				return true
-			}
-			callee := mgspmatch.Callee(pass.TypesInfo, c)
-			if callee == nil || callee.Pkg() == nil {
-				return true
-			}
-			if callee.Pkg() == pass.Pkg {
-				calls[fn] = append(calls[fn], callee)
-				return true
-			}
-			p := callee.Pkg().Path()
-			if mgspmatch.PkgPathIs(p, "sim") || mgspmatch.PkgPathIs(p, "obs") {
-				return true
-			}
-			if mgspmatch.HasSimCtxParam(callee) {
-				crash[fn] = true
-			}
-			return true
-		})
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, callees := range calls {
-			if crash[fn] {
-				continue
-			}
-			for _, c := range callees {
-				if crash[c] {
-					crash[fn] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return crash
 }

@@ -1,9 +1,15 @@
 // Package core is a minimal stand-in for mgsp/internal/core's handle
-// surface as the server sees it: ctx-taking cross-package calls, which the
-// analyzer conservatively treats as crash points (they reach media).
+// surface as the server sees it: the exported operations carry real media
+// ops, so the summary engine exports MediaOp facts and the analyzer
+// classifies cross-package calls as crash points interprocedurally — not by
+// the ctx-parameter approximation, which is reserved for summary-less
+// dynamic dispatch.
 package core
 
-import "sim"
+import (
+	"nvm"
+	"sim"
+)
 
 // Update mirrors core.Update.
 type Update struct {
@@ -12,13 +18,37 @@ type Update struct {
 }
 
 // File mirrors the core handle's multi-range write surface.
-type File struct{}
+type File struct{ dev *nvm.Device }
 
-func (f *File) WriteMulti(ctx *sim.Ctx, ups []Update) error { return nil }
-func (f *File) Close(ctx *sim.Ctx) error                    { return nil }
+func (f *File) WriteMulti(ctx *sim.Ctx, ups []Update) error {
+	for _, u := range ups {
+		f.dev.Write(ctx, u.Data, u.Off)
+		f.dev.Persist(ctx, u.Off, len(u.Data))
+	}
+	return nil
+}
+
+func (f *File) Close(ctx *sim.Ctx) error {
+	f.dev.Persist(ctx, 0, 8)
+	return nil
+}
 
 // FS mirrors the namespace surface.
-type FS struct{}
+type FS struct{ dev *nvm.Device }
 
-func (fs *FS) Open(ctx *sim.Ctx, name string) (*File, error)   { return nil, nil }
-func (fs *FS) Create(ctx *sim.Ctx, name string) (*File, error) { return nil, nil }
+func (fs *FS) Open(ctx *sim.Ctx, name string) (*File, error) {
+	var hdr [32]byte
+	fs.dev.Read(ctx, hdr[:], 0)
+	return &File{dev: fs.dev}, nil
+}
+
+func (fs *FS) Create(ctx *sim.Ctx, name string) (*File, error) {
+	var ent [32]byte
+	fs.dev.WriteNT(ctx, ent[:], 64)
+	fs.dev.Fence(ctx)
+	return &File{dev: fs.dev}, nil
+}
+
+// Stat is ctx-taking but media-free: its exported (empty) summary proves to
+// callers that it cannot crash, where the old approximation flagged it.
+func (fs *FS) Stat(ctx *sim.Ctx, name string) int { return 0 }

@@ -1,15 +1,21 @@
 // Package pm is a minimal stand-in for a sibling package (pmfile/alloc
-// shape): exported operations take *sim.Ctx and issue media ops, so a
-// cross-package ctx-taking call is conservatively a crash point.
+// shape): SetSize really stores to media, so its exported effect summary —
+// not the ctx-parameter approximation — is what makes cross-package calls
+// crash points.
 package pm
 
-import "sim"
+import (
+	"nvm"
+	"sim"
+)
 
 // File mirrors pmfile.File.
-type File struct{}
+type File struct{ dev *nvm.Device }
 
-// SetSize persists the size word — a media op in the real tree.
-func (f *File) SetSize(ctx *sim.Ctx, size int64) {}
+// SetSize persists the size word — a media op the summary engine records.
+func (f *File) SetSize(ctx *sim.Ctx, size int64) {
+	f.dev.Store8(ctx, 0, uint64(size))
+}
 
 // Slot is ctx-free and volatile: not a crash point.
 func (f *File) Slot() int { return 0 }

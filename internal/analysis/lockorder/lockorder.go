@@ -1,0 +1,257 @@
+// Package lockorder defines an analyzer enforcing the repo's declared lock
+// hierarchy (DESIGN.md §13/§15): the PR-7 flusher discipline says drains
+// take flushMu before node locks before sizeMu and never touch fs.mu, and a
+// single out-of-order acquisition anywhere in the tree is a latent deadlock
+// the torture harness can only hope to schedule. The summary engine records
+// every acquires-while-holding edge — interprocedurally, so holding flushMu
+// in core while a cache callee blocks on set.mu is one edge — and this pass
+// checks three things against the package's declarations:
+//
+//   - //mgsp:lock-order A < B < C declares a partial order; an observed
+//     edge B>A that contradicts a declared (transitive) A<B is reported.
+//   - A self edge (a class blocking-acquired while already held) is
+//     reported unless //mgsp:lock-order-self C declares that intra-class
+//     acquisition follows a protocol (e.g. MGL's parent-before-child node
+//     locks).
+//   - Cycles in the whole-program edge graph (local edges plus every
+//     imported package's, self edges excluded) are reported in the package
+//     contributing an edge to the cycle.
+//
+// A //mgsp:lock-forbid C directive on a function declares that it must not
+// transitively blocking-acquire C ("drains never take fs.mu"); the
+// function's AcqBlocking summary is checked against it. The pass is quiet
+// in packages with no local or inherited declarations, so vendored code is
+// never flagged. Suppress an edge finding with //mgsp:lock-order-ok
+// <justification>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
+)
+
+const doc = `check lock acquisitions against the declared partial order and for cycles
+
+Verifies every acquires-while-holding edge (computed interprocedurally by the
+summary engine) against //mgsp:lock-order declarations, reports undeclared
+self-acquisition, detects cycles across packages, and enforces
+//mgsp:lock-forbid on flusher-style paths. Suppress with //mgsp:lock-order-ok
+<justification>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
+	if len(sum.Order) == 0 && len(sum.SelfOK) == 0 && len(dirs.Decls(mgspmatch.LockForbid)) == 0 {
+		// No declarations anywhere in this package's import view: the
+		// hierarchy is undeclared and the pass stays quiet (this is what
+		// keeps vendored third-party code unflagged).
+		return dirs, nil
+	}
+
+	// before[a][b]: a precedes b in the declared order (transitive closure).
+	before := make(map[string]map[string]bool)
+	add := func(a, b string) {
+		if before[a] == nil {
+			before[a] = make(map[string]bool)
+		}
+		before[a][b] = true
+	}
+	for _, p := range sum.Order {
+		add(p.Before, p.After)
+	}
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range before {
+			for b := range bs {
+				for c := range before[b] {
+					if !before[a][c] {
+						add(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Declared-order violations and undeclared self edges, on local edges.
+	for _, e := range sum.LocalEdges {
+		var msg string
+		switch {
+		case e.From == e.To && !sum.SelfOK[e.From]:
+			msg = fmt.Sprintf("lock class %s blocking-acquired while already held (in %s); if a protocol orders intra-class acquisition, declare //mgsp:lock-order-self %s",
+				e.From, e.Fn, e.From)
+		case e.From != e.To && before[e.To][e.From]:
+			msg = fmt.Sprintf("%s acquired while holding %s (in %s), but the declared lock order says %s < %s; acquire in declared order or release %s first",
+				e.To, e.From, e.Fn, e.To, e.From, e.From)
+		default:
+			continue
+		}
+		suppressed := dirs.Suppress(e.TokPos, mgspmatch.LockOrderOK)
+		vetreport.Report(pass, sum.ReportPath, e.TokPos, msg, suppressed)
+	}
+
+	// Cycle detection over the whole-program edge graph. Self edges are
+	// handled above (and exempted classes are protocol-ordered), and edges
+	// contradicting the declared order are excluded — each is already an
+	// order-violation report (or a justified //mgsp:lock-order-ok site) in
+	// its own package, and feeding it back in would re-report the same bug
+	// as a cycle through the declared-direction edges. Report each
+	// remaining strongly connected component once, anchored at this
+	// package's first contributing edge — imported packages that
+	// contributed edges report the same SCC at their own sites, which is
+	// the desired "every participant sees it" behavior.
+	var cycleEdges []summary.Edge
+	for _, e := range sum.AllEdges {
+		if !before[e.To][e.From] {
+			cycleEdges = append(cycleEdges, e)
+		}
+	}
+	cycles := sccs(cycleEdges)
+	for _, comp := range cycles {
+		inComp := make(map[string]bool)
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		var anchor *summary.LocalEdge
+		for i := range sum.LocalEdges {
+			e := &sum.LocalEdges[i]
+			if e.From != e.To && inComp[e.From] && inComp[e.To] {
+				anchor = e
+				break
+			}
+		}
+		if anchor == nil {
+			continue // cycle lives entirely in imported packages
+		}
+		var desc []string
+		for _, e := range cycleEdges {
+			if e.From != e.To && inComp[e.From] && inComp[e.To] {
+				desc = append(desc, fmt.Sprintf("%s>%s (%s, %s)", e.From, e.To, e.Fn, e.Pos))
+			}
+		}
+		msg := fmt.Sprintf("lock classes {%s} form an acquires-while-holding cycle: %s",
+			strings.Join(comp, ", "), strings.Join(desc, "; "))
+		suppressed := dirs.Suppress(anchor.TokPos, mgspmatch.LockOrderOK)
+		vetreport.Report(pass, sum.ReportPath, anchor.TokPos, msg, suppressed)
+	}
+
+	// //mgsp:lock-forbid on function declarations.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, d := range dirs.DeclsAt(fd.Pos(), mgspmatch.LockForbid) {
+				fields := strings.Fields(d.Args)
+				if len(fields) == 0 {
+					continue
+				}
+				cls := fields[0]
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				s := sum.Fn(fn)
+				if s == nil {
+					continue
+				}
+				for _, acq := range s.AcqBlocking {
+					if acq == cls {
+						msg := fmt.Sprintf("%s is declared //mgsp:lock-forbid %s but transitively blocking-acquires it",
+							fd.Name.Name, cls)
+						vetreport.Report(pass, sum.ReportPath, fd.Name.Pos(), msg, false)
+					}
+				}
+			}
+		}
+	}
+	return dirs, nil
+}
+
+// sccs returns the strongly connected components of size > 1 in the edge
+// graph (self edges excluded), each sorted, in deterministic order.
+func sccs(edges []summary.Edge) [][]string {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+		nodes[e.From], nodes[e.To] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	// Tarjan's algorithm, iterative enough for our graph sizes (recursive).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := append([]string(nil), adj[v]...)
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Strings(comp)
+				out = append(out, comp)
+			}
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.Join(out[i], ",") < strings.Join(out[j], ",") })
+	return out
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/lockorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a")
+}

@@ -1,0 +1,132 @@
+// Package a reconstructs the PR-7 flusher lock discipline for the
+// lockorder golden corpus: drains take flushMu before node locks before
+// sizeMu and never touch the namespace lock.
+//
+//mgsp:lock-order flusher.flushMu < node.lock < flusher.sizeMu
+//mgsp:lock-order-self node.lock tree walks take parent before child
+package a
+
+import "sync"
+
+type node struct{ lock sync.Mutex }
+
+type tree struct{ mu sync.Mutex }
+
+type fs struct{ mu sync.Mutex }
+
+type flusher struct {
+	flushMu sync.Mutex
+	sizeMu  sync.Mutex
+}
+
+// goodDrain follows the declared order exactly.
+func (f *flusher) goodDrain(n *node) {
+	f.flushMu.Lock()
+	n.lock.Lock()
+	f.sizeMu.Lock()
+	f.sizeMu.Unlock()
+	n.lock.Unlock()
+	f.flushMu.Unlock()
+}
+
+// badInverted acquires flushMu while holding sizeMu, against the declared
+// order.
+func (f *flusher) badInverted(n *node) {
+	f.sizeMu.Lock()
+	f.flushMu.Lock() // want `flusher\.flushMu acquired while holding flusher\.sizeMu \(in flusher\.badInverted\), but the declared lock order says flusher\.flushMu < flusher\.sizeMu`
+	f.flushMu.Unlock()
+	f.sizeMu.Unlock()
+}
+
+// badSkipLevel: transitivity — node.lock < sizeMu is declared only through
+// the chain.
+func (f *flusher) badSkipLevel(n *node) {
+	f.sizeMu.Lock()
+	n.lock.Lock() // want `node\.lock acquired while holding flusher\.sizeMu`
+	n.lock.Unlock()
+	f.sizeMu.Unlock()
+}
+
+// goodSelfDeclared: intra-class node acquisition is protocol-ordered
+// (parent before child), declared above.
+func lockPairNodes(a, b *node) {
+	a.lock.Lock()
+	b.lock.Lock()
+	b.lock.Unlock()
+	a.lock.Unlock()
+}
+
+// badSelfUndeclared: the same shape on an undeclared class is a latent
+// deadlock (two goroutines, opposite order).
+func lockPairTrees(a, b *tree) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock class tree\.mu blocking-acquired while already held \(in lockPairTrees\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// suppressedInverted keeps a justified inversion quiet.
+func (f *flusher) suppressedInverted() {
+	f.sizeMu.Lock()
+	f.flushMu.Lock() //mgsp:lock-order-ok startup path, single-threaded by construction
+	f.flushMu.Unlock()
+	f.sizeMu.Unlock()
+}
+
+type cyc struct {
+	ma sync.Mutex
+	mb sync.Mutex
+}
+
+// cycAB and cycBA close an undeclared two-class cycle; the SCC is reported
+// at the package's first contributing edge.
+func (c *cyc) cycAB() {
+	c.ma.Lock()
+	c.mb.Lock() // want `lock classes \{cyc\.ma, cyc\.mb\} form an acquires-while-holding cycle`
+	c.mb.Unlock()
+	c.ma.Unlock()
+}
+
+func (c *cyc) cycBA() {
+	c.mb.Lock()
+	c.ma.Lock()
+	c.ma.Unlock()
+	c.mb.Unlock()
+}
+
+func lockFS(s *fs) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+type opfile struct{ opMu sync.Mutex }
+
+// lockOp returns holding opMu — escaping by design, like the MGL lock
+// helpers that hand a held set back to the operation.
+func (o *opfile) lockOp() { o.opMu.Lock() }
+
+func (o *opfile) releaseOp() { o.opMu.Unlock() }
+
+// deferReleasedOp releases the escaping acquisition through a deferred
+// helper call. The summary engine credits releaseOp's release set at exit
+// (deferred calls are invisible to the CFG walk), so the op neither
+// escapes opMu nor leaves it held in callers.
+func (o *opfile) deferReleasedOp() {
+	o.lockOp()
+	defer o.releaseOp()
+}
+
+// backToBackOps must be quiet: without defer-release crediting the second
+// call would report a spurious opfile.opMu self edge.
+func backToBackOps(o *opfile) {
+	o.deferReleasedOp()
+	o.deferReleasedOp()
+}
+
+// drainForbidden is a flusher-style path that must stay off the namespace
+// lock but reaches it through a helper.
+//
+//mgsp:lock-forbid fs.mu drains run under group commit and must not touch the namespace lock
+func (f *flusher) drainForbidden(s *fs) { // want `drainForbidden is declared //mgsp:lock-forbid fs\.mu but transitively blocking-acquires it`
+	lockFS(s)
+}

@@ -30,6 +30,9 @@ func namedOf(t types.Type) *types.Named {
 	return n
 }
 
+// Named unwraps pointers and aliases down to a *types.Named, or nil.
+func Named(t types.Type) *types.Named { return namedOf(t) }
+
 // IsNamed reports whether t (or *t) is the named type typeName defined in a
 // package whose path matches pkgElem per PkgPathIs.
 func IsNamed(t types.Type, pkgElem, typeName string) bool {
@@ -142,70 +145,188 @@ func RecvKey(call *ast.CallExpr) string {
 	return ExprKey(sel.X)
 }
 
+// Render returns a best-effort textual identity for an arbitrary expression
+// — richer than ExprKey (calls, index expressions, and arithmetic render
+// structurally instead of vanishing) but still purely syntactic. Used by the
+// twostore analyzer to group store offsets. Unrenderable subexpressions
+// become "?".
+func Render(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return Render(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return Render(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.BinaryExpr:
+		return Render(x.X) + x.Op.String() + Render(x.Y)
+	case *ast.CallExpr:
+		s := Render(x.Fun) + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += Render(a)
+		}
+		return s + ")"
+	case *ast.IndexExpr:
+		return Render(x.X) + "[" + Render(x.Index) + "]"
+	}
+	return "?"
+}
+
+// FamilyKey returns (family, full) identity strings for a store-offset
+// expression. Two offsets belong to the same family when they address fields
+// of one record: "base+fieldOff" strips the trailing addend so
+// m.off(i)+entCksum and m.off(i)+entLen share family "m.off(i)", while the
+// full rendering keeps the field term for field-name classification.
+func FamilyKey(e ast.Expr) (family, full string) {
+	full = Render(e)
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && (b.Op == token.ADD || b.Op == token.SUB) {
+		return Render(b.X), full
+	}
+	return full, full
+}
+
 // ---- //mgsp: directives ----
 
-// Directive names understood by the analyzers. Each suppresses one analyzer
-// at one annotated line and should carry a one-line justification:
+// Directive names understood by the analyzers. Suppression directives gate
+// one analyzer at one annotated line and must carry a one-line
+// justification (a justification that stops suppressing anything is itself
+// reported by the staleannot pass):
 //
 //	//mgsp:deferred-persist <why the barrier lives elsewhere>
 //	//mgsp:crash-locked <why the lock cannot leak>
 //	//mgsp:unchecksummed-publish <why this store needs no checksum>
 //	//mgsp:unaligned-ok <why 32-bit alignment does not apply>
 //	//mgsp:atomic-copy-ok <why this value copy is race-free>
+//	//mgsp:lock-order-ok <why this acquisition cannot deadlock>
+//	//mgsp:seqlock-ok <why this section is safe>
+//	//mgsp:two-store-ok <why these stores need no ordering>
+//
+// Declaration directives feed facts into the summary engine instead of
+// suppressing diagnostics:
+//
+//	//mgsp:lock-order A < B < C   (declared partial lock order, package scope)
+//	//mgsp:lock-order-self C <why> (intra-class acquisition follows a protocol)
+//	//mgsp:seqlock                 (marks an atomic field as a seqlock version)
 const (
 	DeferredPersist      = "deferred-persist"
 	CrashLocked          = "crash-locked"
 	UnchecksummedPublish = "unchecksummed-publish"
 	UnalignedOK          = "unaligned-ok"
 	AtomicCopyOK         = "atomic-copy-ok"
+	LockOrderOK          = "lock-order-ok"
+	SeqlockOK            = "seqlock-ok"
+	TwoStoreOK           = "two-store-ok"
+
+	LockOrder     = "lock-order"
+	LockOrderSelf = "lock-order-self"
+	LockForbid    = "lock-forbid"
+	Seqlock       = "seqlock"
 )
+
+// SuppressionDirectives maps each suppression directive name to the
+// analyzer it gates; staleannot uses it to decide which directives are
+// expected to suppress something.
+var SuppressionDirectives = map[string]string{
+	DeferredPersist:      "persistorder",
+	CrashLocked:          "crashsafelocks",
+	UnchecksummedPublish: "checksumpub",
+	UnalignedOK:          "atomicfield",
+	AtomicCopyOK:         "atomicfield",
+	LockOrderOK:          "lockorder",
+	SeqlockOK:            "seqlockver",
+	TwoStoreOK:           "twostore",
+}
+
+// DeclarationDirectives are the non-suppressing directive names (facts for
+// the summary engine); they are exempt from staleness checking.
+var DeclarationDirectives = map[string]bool{
+	LockOrder:     true,
+	LockOrderSelf: true,
+	LockForbid:    true,
+	Seqlock:       true,
+}
 
 const prefix = "//mgsp:"
 
-// Directives records, per file line, the //mgsp: directive names present
-// there. A directive governs the line it is written on; a directive comment
-// that has a line to itself additionally governs the line below it, and a
+// Directive is one parsed //mgsp: comment: its position, name, and the
+// remainder of the comment line (justification text, or declaration args).
+type Directive struct {
+	Pos  token.Pos
+	Name string
+	Args string
+}
+
+// Directives records, per file line, the //mgsp: directives present there.
+// A directive governs the line it is written on; a directive comment that
+// has a line to itself additionally governs the line below it, and a
 // directive in a function's doc comment governs the whole function.
+//
+// Suppress consultations are recorded per directive so the staleannot pass
+// can report annotations that no longer suppress anything.
 type Directives struct {
-	fset  *token.FileSet
-	lines map[token.Position]map[string]bool // Filename+Line only
-	funcs []funcSpan
+	fset    *token.FileSet
+	entries []Directive
+	used    []bool
+	lines   map[token.Position][]int // Filename+Line -> entry indices
+	funcs   []funcSpan
 }
 
 type funcSpan struct {
 	pos, end token.Pos
-	names    map[string]bool
+	idx      []int
 }
 
 func key(p token.Position) token.Position { return token.Position{Filename: p.Filename, Line: p.Line} }
 
+func parseOne(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	name, args := rest, ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, args = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	return Directive{Pos: c.Pos(), Name: name, Args: args}, true
+}
+
 // ParseDirectives scans the files' comments for //mgsp: directives.
 func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
-	d := &Directives{fset: fset, lines: make(map[token.Position]map[string]bool)}
+	d := &Directives{fset: fset, lines: make(map[token.Position][]int)}
+	seen := make(map[token.Pos]int) // comment pos -> entry index (doc comments appear twice)
+	add := func(c *ast.Comment) (int, bool) {
+		if i, ok := seen[c.Pos()]; ok {
+			return i, true
+		}
+		dir, ok := parseOne(c)
+		if !ok {
+			return 0, false
+		}
+		d.entries = append(d.entries, dir)
+		d.used = append(d.used, false)
+		i := len(d.entries) - 1
+		seen[c.Pos()] = i
+		return i, true
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, prefix) {
+				i, ok := add(c)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, prefix)
-				name := rest
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					name = rest[:i]
-				}
 				p := key(fset.Position(c.Pos()))
-				if d.lines[p] == nil {
-					d.lines[p] = make(map[string]bool)
-				}
-				d.lines[p][name] = true
+				d.lines[p] = append(d.lines[p], i)
 				// A standalone directive line also governs the next line.
 				if fset.Position(cg.Pos()).Line == p.Line {
 					next := p
 					next.Line++
-					if d.lines[next] == nil {
-						d.lines[next] = make(map[string]bool)
-					}
-					d.lines[next][name] = true
+					d.lines[next] = append(d.lines[next], i)
 				}
 			}
 		}
@@ -214,34 +335,104 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			names := make(map[string]bool)
+			var idx []int
 			for _, c := range fd.Doc.List {
-				if strings.HasPrefix(c.Text, prefix) {
-					rest := strings.TrimPrefix(c.Text, prefix)
-					name := rest
-					if i := strings.IndexAny(rest, " \t"); i >= 0 {
-						name = rest[:i]
-					}
-					names[name] = true
+				if i, ok := add(c); ok {
+					idx = append(idx, i)
 				}
 			}
-			if len(names) > 0 {
-				d.funcs = append(d.funcs, funcSpan{fd.Pos(), fd.End(), names})
+			if len(idx) > 0 {
+				d.funcs = append(d.funcs, funcSpan{fd.Pos(), fd.End(), idx})
 			}
 		}
 	}
 	return d
 }
 
-// Has reports whether directive name governs pos.
-func (d *Directives) Has(pos token.Pos, name string) bool {
-	if names, ok := d.lines[key(d.fset.Position(pos))]; ok && names[name] {
-		return true
-	}
-	for _, fs := range d.funcs {
-		if fs.pos <= pos && pos < fs.end && fs.names[name] {
-			return true
+// matches returns the indices of directives named name governing pos.
+func (d *Directives) matches(pos token.Pos, name string) []int {
+	var out []int
+	for _, i := range d.lines[key(d.fset.Position(pos))] {
+		if d.entries[i].Name == name {
+			out = append(out, i)
 		}
 	}
-	return false
+	for _, fs := range d.funcs {
+		if fs.pos <= pos && pos < fs.end {
+			for _, i := range fs.idx {
+				if d.entries[i].Name == name {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Has reports whether directive name governs pos, without recording a use.
+func (d *Directives) Has(pos token.Pos, name string) bool {
+	return len(d.matches(pos, name)) > 0
+}
+
+// Suppress reports whether directive name governs pos and, when it does,
+// records that the governing annotation suppressed a real finding. Analyzers
+// must call it only after establishing that a diagnostic would otherwise be
+// reported — that is what keeps staleness detection honest.
+func (d *Directives) Suppress(pos token.Pos, name string) bool {
+	idx := d.matches(pos, name)
+	for _, i := range idx {
+		d.used[i] = true
+	}
+	return len(idx) > 0
+}
+
+// DeclsAt returns the directives named name that govern pos, with their
+// arguments (used for position-scoped declarations like lock-forbid).
+func (d *Directives) DeclsAt(pos token.Pos, name string) []Directive {
+	var out []Directive
+	for _, i := range d.matches(pos, name) {
+		out = append(out, d.entries[i])
+	}
+	return out
+}
+
+// Decls returns every directive with the given name (declaration
+// directives: lock-order, lock-order-self, lock-forbid, seqlock).
+func (d *Directives) Decls(name string) []Directive {
+	var out []Directive
+	for _, e := range d.entries {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// All returns every parsed directive.
+func (d *Directives) All() []Directive {
+	return append([]Directive(nil), d.entries...)
+}
+
+// Used returns the positions of directives that recorded a Suppress hit —
+// staleannot unions these across the per-analyzer Directives copies (every
+// copy parses the same files, so positions align).
+func (d *Directives) Used() map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	for i, e := range d.entries {
+		if d.used[i] {
+			out[e.Pos] = true
+		}
+	}
+	return out
+}
+
+// Unused returns the suppression directives that recorded no Suppress hit.
+func (d *Directives) Unused() []Directive {
+	var out []Directive
+	for i, e := range d.entries {
+		if !d.used[i] && SuppressionDirectives[e.Name] != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -1,24 +1,28 @@
 // Package persistorder defines an analyzer enforcing the paper's media-op
 // discipline (PAPER.md §III): shadow data written with nvm.Device.Write or
 // WriteNT must be made durable — Flush/Persist for cached Write, any of
-// Flush/Persist/Fence for non-temporal WriteNT — before the enclosing
-// function reaches a metadata-log append or commit store that publishes it.
-// A torn ordering here is exactly the bug class a crash between the commit
-// entry and its data exposes: recovery replays a commit whose data never
-// persisted.
+// Flush/Persist/Fence for non-temporal WriteNT — before execution reaches a
+// metadata-log append or commit store that publishes it. A torn ordering
+// here is exactly the bug class a crash between the commit entry and its
+// data exposes: recovery replays a commit whose data never persisted.
 //
-// The check is intra-procedural over the control-flow graph. Commit sinks
-// are Device.Store8/Device.CAS8 (8-byte publish stores) and any call whose
-// callee name begins with "commit" (metaLog.commit, commitSnap,
-// commitSnapshotMark, file.commitChanges, ...). Multi-function commit paths
-// whose barrier legitimately lives in a caller are annotated
+// The check is interprocedural over the summary engine (DESIGN.md §15).
+// Commit sinks are Device.Store8/Device.CAS8 (8-byte publish stores), any
+// call whose callee name begins with "commit", and any callee whose summary
+// says a commit sink is reachable from its entry before a barrier
+// (CommitBare*). Barriers are the direct Device calls plus any callee whose
+// every path crosses one (Barrier*All). A callee that returns with a write
+// still unbarriered (WriteBare*) makes its call sites write sources in the
+// caller, so a barrier that legitimately lives in the caller is verified
+// there instead of assumed. Residual multi-function shapes the summaries
+// cannot see (e.g. a barrier behind dynamic dispatch) are annotated
 // //mgsp:deferred-persist with a one-line justification.
 package persistorder
 
 import (
 	"fmt"
 	"go/ast"
-	"strings"
+	"reflect"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
@@ -26,29 +30,54 @@ import (
 
 	"mgsp/internal/analysis/cfgscan"
 	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
 )
 
 const doc = `check that nvm writes are flushed/fenced before a reachable metadata-log commit
 
-Flags nvm.Device.Write/WriteNT calls whose enclosing function can reach a
-commit sink (Device.Store8/CAS8 or a commit* call) without an intervening
-persist barrier (Flush/Persist; Fence also suffices for WriteNT). Suppress
-with //mgsp:deferred-persist <justification> when the barrier is in a caller.`
+Flags nvm.Device.Write/WriteNT calls — and calls to functions whose summary
+says they return with such a write unbarriered — whose enclosing function can
+reach a commit sink (Device.Store8/CAS8, a commit* call, or a callee that
+commits before barriering) without an intervening persist barrier
+(Flush/Persist; Fence also suffices for WriteNT). Suppress with
+//mgsp:deferred-persist <justification>.`
 
 var Analyzer = &analysis.Analyzer{
-	Name:     "persistorder",
-	Doc:      doc,
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
-	Run:      run,
+	Name:       "persistorder",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
 	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") {
 		// The device implementation itself sits below the discipline.
-		return nil, nil
+		return dirs, nil
 	}
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
-	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
+
+	// scan reports a pending write of kind write at the given call site if a
+	// commit sink is reachable before a barrier.
+	scan := func(g *cfg.CFG, p cfgscan.Pos, site *ast.CallExpr, write, src string) {
+		hit := cfgscan.ReachableAfter(g, p, func(c *ast.CallExpr) cfgscan.Class {
+			return sum.PersistClass(c, write)
+		})
+		if hit == nil {
+			return
+		}
+		sink := "commit store"
+		if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
+			sink = fn.Name()
+		}
+		msg := fmt.Sprintf("%s may reach commit sink %s without an intervening persist barrier (Flush/Persist%s); add the barrier or annotate //mgsp:deferred-persist with a justification",
+			src, sink, fenceHint(write))
+		suppressed := dirs.Suppress(site.Pos(), mgspmatch.DeferredPersist)
+		vetreport.Report(pass, sum.ReportPath, site.Pos(), msg, suppressed)
+	}
 
 	check := func(g *cfg.CFG) {
 		if g == nil {
@@ -56,46 +85,25 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		for _, b := range g.Blocks {
 			for i, call := range cfgscan.Calls(b) {
-				write := mgspmatch.DeviceMethod(pass.TypesInfo, call)
-				if write != "Write" && write != "WriteNT" {
+				p := cfgscan.Pos{Block: b, Index: i}
+				if write := mgspmatch.DeviceMethod(pass.TypesInfo, call); write == "Write" || write == "WriteNT" {
+					scan(g, p, call, write, "nvm "+write)
 					continue
 				}
-				if dirs.Has(call.Pos(), mgspmatch.DeferredPersist) {
+				cs := sum.CallSummary(call)
+				if cs == nil || (!cs.WriteBareCached && !cs.WriteBareNT) {
 					continue
 				}
-				hit := cfgscan.ReachableAfter(g, cfgscan.Pos{Block: b, Index: i}, func(c *ast.CallExpr) cfgscan.Class {
-					if m := mgspmatch.DeviceMethod(pass.TypesInfo, c); m != "" {
-						switch {
-						case m == "Flush" || m == "Persist":
-							return cfgscan.Stop
-						case m == "Fence":
-							// An sfence orders non-temporal stores but does
-							// not write back a cached Write.
-							if write == "WriteNT" {
-								return cfgscan.Stop
-							}
-							return cfgscan.Continue
-						case m == "Store8" || m == "CAS8":
-							return cfgscan.Hit
-						}
-						return cfgscan.Continue
-					}
-					if fn := mgspmatch.Callee(pass.TypesInfo, c); fn != nil &&
-						strings.HasPrefix(strings.ToLower(fn.Name()), "commit") {
-						return cfgscan.Hit
-					}
-					return cfgscan.Continue
-				})
-				if hit != nil {
-					sink := "commit store"
-					if fn := mgspmatch.Callee(pass.TypesInfo, hit); fn != nil {
-						sink = fn.Name()
-					}
-					pass.Report(analysis.Diagnostic{
-						Pos: call.Pos(),
-						Message: fmt.Sprintf("nvm %s may reach commit sink %s without an intervening persist barrier (Flush/Persist%s); add the barrier or annotate //mgsp:deferred-persist with a justification",
-							write, sink, fenceHint(write)),
-					})
+				fn := mgspmatch.Callee(pass.TypesInfo, call)
+				name := "call"
+				if fn != nil {
+					name = fn.Name()
+				}
+				if cs.WriteBareCached {
+					scan(g, p, call, "Write", name+" (returns with an unflushed Write)")
+				}
+				if cs.WriteBareNT {
+					scan(g, p, call, "WriteNT", name+" (returns with an unfenced WriteNT)")
 				}
 			}
 		}
@@ -114,7 +122,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-	return nil, nil
+	return dirs, nil
 }
 
 func fenceHint(write string) string {

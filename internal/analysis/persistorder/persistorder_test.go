@@ -8,5 +8,5 @@ import (
 )
 
 func Test(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), persistorder.Analyzer, "a", "srv", "cachecorpus")
+	analysistest.Run(t, analysistest.TestData(), persistorder.Analyzer, "a", "srv", "cachecorpus", "xp")
 }

@@ -1,0 +1,21 @@
+// Package xhelp is the exporting side of the persistorder cross-package
+// fixture: StageBare returns with an unfenced WriteNT (the caller owns the
+// barrier), FlushStage barriers before returning. The WriteBareNT /
+// BarrierNTAll facts travel to the importing package.
+package xhelp
+
+import (
+	"nvm"
+	"sim"
+)
+
+// StageBare writes shadow data non-temporally and returns without fencing.
+func StageBare(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 4096)
+}
+
+// FlushStage stages and fences: no pending write escapes.
+func FlushStage(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 4096)
+	dev.Fence(ctx)
+}

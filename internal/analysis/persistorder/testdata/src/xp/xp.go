@@ -1,0 +1,33 @@
+// Package xp is the importing side of the persistorder cross-package
+// fixture: calls into xhelp are classified purely by the effect summaries
+// xhelp exported — a callee that returns with an unfenced WriteNT makes its
+// call site a write source here, and the commit store that follows it needs
+// a barrier in between.
+package xp
+
+import (
+	"xhelp"
+
+	"nvm"
+	"sim"
+)
+
+// badStagedCommit: the staged write is still unfenced when the commit store
+// publishes it.
+func badStagedCommit(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	xhelp.StageBare(ctx, dev, data) // want `StageBare \(returns with an unfenced WriteNT\) may reach commit sink Store8 without an intervening persist barrier`
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodStagedFencedCommit: the caller owns the barrier and provides it.
+func goodStagedFencedCommit(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	xhelp.StageBare(ctx, dev, data)
+	dev.Fence(ctx)
+	dev.Store8(ctx, 0, 1)
+}
+
+// goodFlushedStage: the callee barriers on every path before returning.
+func goodFlushedStage(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	xhelp.FlushStage(ctx, dev, data)
+	dev.Store8(ctx, 0, 1)
+}

@@ -1,0 +1,12 @@
+package seqlockver_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/seqlockver"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seqlockver.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Package a holds the seqlockver golden cases over the DRAM frame cache's
+// optimistic-read shape (cache.Read): capture the version, copy the
+// payload, re-validate after the copy, and keep the section a pure copy.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nvm"
+	"sim"
+)
+
+type frame struct {
+	mu   sync.Mutex
+	ver  atomic.Uint64 //mgsp:seqlock frame seqlock version word (even = stable)
+	data [64]byte
+	hits atomic.Uint64
+}
+
+// goodRead is the cache.Read shape: capture, pure copy, re-validate.
+func goodRead(f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	if v%2 != 0 {
+		return false
+	}
+	copy(buf, f.data[:])
+	return f.ver.Load() == v
+}
+
+// badNoRevalidate returns the copy without comparing against a fresh Load:
+// a torn read is silently served.
+func badNoRevalidate(f *frame, buf []byte) {
+	v := f.ver.Load() // want `seqlock version ver captured into v but never re-validated against a fresh Load`
+	if v%2 != 0 {
+		return
+	}
+	copy(buf, f.data[:])
+}
+
+// badMediaInSection touches the device between capture and re-validation.
+func badMediaInSection(ctx *sim.Ctx, dev *nvm.Device, f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	dev.Read(ctx, buf, 0) // want `Read inside the optimistic read section of seqlock ver`
+	return f.ver.Load() == v
+}
+
+// badLockInSection blocks on a mutex inside the section.
+func badLockInSection(f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	f.mu.Lock() // want `Lock inside the optimistic read section of seqlock ver`
+	copy(buf, f.data[:])
+	f.mu.Unlock()
+	return f.ver.Load() == v
+}
+
+// badMutateInSection publishes through an atomic inside the section — the
+// failed validation cannot roll the count back.
+func badMutateInSection(f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	f.hits.Add(1) // want `Add inside the optimistic read section of seqlock ver`
+	copy(buf, f.data[:])
+	return f.ver.Load() == v
+}
+
+func readMedia(ctx *sim.Ctx, dev *nvm.Device, buf []byte) {
+	dev.Read(ctx, buf, 0)
+}
+
+// badCalleeMedia reaches media through a helper: the summary engine sees it.
+func badCalleeMedia(ctx *sim.Ctx, dev *nvm.Device, f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	readMedia(ctx, dev, buf) // want `readMedia inside the optimistic read section of seqlock ver`
+	return f.ver.Load() == v
+}
+
+// suppressedStats keeps a justified in-section effect quiet.
+func suppressedStats(f *frame, buf []byte) bool {
+	v := f.ver.Load()
+	f.hits.Add(1) //mgsp:seqlock-ok monotonic hit counter, over-count on retry is fine
+	copy(buf, f.data[:])
+	return f.ver.Load() == v
+}

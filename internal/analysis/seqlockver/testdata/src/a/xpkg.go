@@ -1,0 +1,21 @@
+// Cross-package cases: the seqlock annotation on cache.Frame.Ver is an
+// imported fact, not a local parse.
+package a
+
+import "cache"
+
+// goodCrossRead re-validates an imported seqlock field.
+func goodCrossRead(fr *cache.Frame, buf []byte) bool {
+	v := fr.Ver.Load()
+	copy(buf, fr.Data[:])
+	return fr.Ver.Load() == v
+}
+
+// badCrossNoRevalidate misses the re-validation on an imported field.
+func badCrossNoRevalidate(fr *cache.Frame, buf []byte) {
+	v := fr.Ver.Load() // want `seqlock version Ver captured into v but never re-validated against a fresh Load`
+	if v%2 != 0 {
+		return
+	}
+	copy(buf, fr.Data[:])
+}

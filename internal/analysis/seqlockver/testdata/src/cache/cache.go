@@ -1,0 +1,12 @@
+// Package cache is the exporting side of the cross-package seqlockver
+// fixture: the //mgsp:seqlock annotation on Frame.Ver travels to importers
+// as an object fact.
+package cache
+
+import "sync/atomic"
+
+// Frame mirrors the DRAM frame cache's frame header.
+type Frame struct {
+	Ver  atomic.Uint64 //mgsp:seqlock published frame version (even = stable)
+	Data [64]byte
+}

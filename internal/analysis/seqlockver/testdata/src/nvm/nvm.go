@@ -1,0 +1,16 @@
+// Package nvm is a minimal stand-in for mgsp/internal/nvm.
+package nvm
+
+import "sim"
+
+// Device mirrors the media-op surface of nvm.Device.
+type Device struct{}
+
+func (d *Device) Read(ctx *sim.Ctx, buf []byte, off int64)            {}
+func (d *Device) Write(ctx *sim.Ctx, data []byte, off int64)          {}
+func (d *Device) WriteNT(ctx *sim.Ctx, data []byte, off int64)        {}
+func (d *Device) Flush(ctx *sim.Ctx, off int64, n int) int            { return 0 }
+func (d *Device) Fence(ctx *sim.Ctx)                                  {}
+func (d *Device) Persist(ctx *sim.Ctx, off int64, n int)              {}
+func (d *Device) Store8(ctx *sim.Ctx, off int64, v uint64)            {}
+func (d *Device) CAS8(ctx *sim.Ctx, off int64, old, new uint64) bool  { return true }

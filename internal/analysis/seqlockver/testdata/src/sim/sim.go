@@ -1,0 +1,7 @@
+// Package sim is a minimal stand-in for mgsp/internal/sim: the analyzers
+// match types by (name, package-path suffix), so this fixture exercises the
+// same code paths as the real tree.
+package sim
+
+// Ctx mirrors sim.Ctx.
+type Ctx struct{ ID int }

@@ -1,0 +1,12 @@
+package staleannot_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/staleannot"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), staleannot.Analyzer, "a")
+}

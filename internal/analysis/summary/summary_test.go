@@ -1,0 +1,40 @@
+package summary_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/summary"
+)
+
+// probe reports the callee effect summary at every call site that resolves
+// to one, turning the fact-carried summaries into diagnostics the golden
+// harness can assert on.
+var probe = &analysis.Analyzer{
+	Name:     "summaryprobe",
+	Doc:      "report callee effect summaries at call sites",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				c, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if s := sum.CallSummary(c); s != nil {
+					pass.Reportf(c.Pos(), "summary: %s", s.String())
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probe, "a")
+}

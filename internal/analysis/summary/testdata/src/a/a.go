@@ -1,0 +1,32 @@
+// Package a is the importing side of the cross-package summary fixture: the
+// probe analyzer in summary_test reports the callee summary at every call
+// site that has one, and the expectations below pin down exactly what
+// crossed the package boundary as facts.
+package a
+
+import (
+	"b"
+	"nvm"
+	"sim"
+)
+
+func drive(ctx *sim.Ctx, dev *nvm.Device, l *b.Locker, data []byte) {
+	b.StageBare(ctx, dev, data) // want `summary: media writebareNT`
+	b.FlushAll(ctx, dev)        // want `summary: media barrier barrierNT`
+	b.CommitSlot(ctx, dev)      // want `summary: media commitbare commitbareNT`
+	b.Noop(ctx)                 // want `summary: pure`
+	l.Batch(ctx)                // want `summary: acq\(Locker\.mu\) release\(Locker\.mu\)`
+	l.Acquire()                 // want `summary: acq\(Locker\.mu\) escape\(Locker\.mu\)`
+	l.Release()                 // want `summary: release\(Locker\.mu\)`
+}
+
+// localBare proves local (unexported) functions get in-memory summaries
+// without needing facts. The fixture Device's methods have empty bodies, so
+// the probe sees their own (exported, empty) summaries as "pure".
+func localBare(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.Write(ctx, data, 0) // want `summary: pure`
+}
+
+func driveLocal(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	localBare(ctx, dev, data) // want `summary: media writebare`
+}

@@ -1,0 +1,52 @@
+// Package b is the exporting side of the cross-package summary fixture:
+// package a calls these functions and asserts the effect summaries the
+// engine exported as object facts — media ops, bare writes, all-path
+// barriers, bare commits, and lock effects all crossing the package
+// boundary.
+package b
+
+import (
+	"sync"
+
+	"nvm"
+	"sim"
+)
+
+// StageBare returns with a non-temporal write unfenced: the caller owns the
+// barrier.
+func StageBare(ctx *sim.Ctx, dev *nvm.Device, data []byte) {
+	dev.WriteNT(ctx, data, 0)
+}
+
+// FlushAll crosses a cached-write barrier on every path.
+func FlushAll(ctx *sim.Ctx, dev *nvm.Device) {
+	dev.Persist(ctx, 0, 64)
+}
+
+// CommitSlot publishes a commit store with no preceding barrier.
+func CommitSlot(ctx *sim.Ctx, dev *nvm.Device) {
+	dev.Store8(ctx, 0, 1)
+}
+
+// Noop takes ctx but touches nothing: its summary must still be exported so
+// callers can prove it cannot crash.
+func Noop(ctx *sim.Ctx) {}
+
+// Locker carries the lock-effect summaries.
+type Locker struct{ mu sync.Mutex }
+
+// Batch acquires and releases its own lock.
+func (l *Locker) Batch(ctx *sim.Ctx) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+// Acquire hands the held lock back to the caller (escaping acquire).
+func (l *Locker) Acquire() {
+	l.mu.Lock()
+}
+
+// Release is the matching release helper.
+func (l *Locker) Release() {
+	l.mu.Unlock()
+}

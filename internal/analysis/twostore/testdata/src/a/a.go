@@ -1,0 +1,79 @@
+// Package a holds the twostore golden cases: the PR-8 retire discipline
+// (checksum kill before length kill, fence between dependent non-temporal
+// stores) over a metadata-log entry family m.off(i)+field.
+package a
+
+import (
+	"b"
+
+	"nvm"
+	"sim"
+)
+
+const (
+	entCksum = 8
+	entLen   = 16
+)
+
+type metaLog struct{ dev *nvm.Device }
+
+func (m *metaLog) off(i int) int64 { return int64(i) * 64 }
+
+// goodRetire kills the checksum first: a crash between the two Store8s
+// leaves an entry that fails validation, which recovery skips.
+func (m *metaLog) goodRetire(ctx *sim.Ctx, i int) {
+	m.dev.Store8(ctx, m.off(i)+entCksum, 0)
+	m.dev.Store8(ctx, m.off(i)+entLen, 0)
+}
+
+// badRetire zeroes the length while the checksum is still valid — the
+// checksum-valid corpse a torn re-commit can resurrect.
+func (m *metaLog) badRetire(ctx *sim.Ctx, i int) {
+	m.dev.Store8(ctx, m.off(i)+entLen, 0) // want `length field m\.off\(i\)\+entLen zeroed while the record's checksum field is still valid`
+	m.dev.Store8(ctx, m.off(i)+entCksum, 0)
+}
+
+// suppressedRetire keeps a justified inversion quiet.
+func (m *metaLog) suppressedRetire(ctx *sim.Ctx, i int) {
+	m.dev.Store8(ctx, m.off(i)+entLen, 0) //mgsp:two-store-ok slot is already unreachable from the directory
+	m.dev.Store8(ctx, m.off(i)+entCksum, 0)
+}
+
+// badAppend publishes the entry checksum while the non-temporal body write
+// can still be in flight: the two stores can persist in either order.
+func (m *metaLog) badAppend(ctx *sim.Ctx, buf []byte, i int) {
+	m.dev.WriteNT(ctx, buf, m.off(i)) // want `dependent persistent stores to m\.off\(i\) \(WriteNT at m\.off\(i\), then Store8 at m\.off\(i\)\+entCksum\) have no persist barrier`
+	m.dev.Store8(ctx, m.off(i)+entCksum, 7)
+}
+
+// goodAppend fences between the body write and the checksum publish.
+func (m *metaLog) goodAppend(ctx *sim.Ctx, buf []byte, i int) {
+	m.dev.WriteNT(ctx, buf, m.off(i))
+	m.dev.Fence(ctx)
+	m.dev.Store8(ctx, m.off(i)+entCksum, 7)
+}
+
+// goodAppendCrossPkg takes its fence from an imported helper whose summary
+// says every path crosses one.
+func (m *metaLog) goodAppendCrossPkg(ctx *sim.Ctx, buf []byte, i int) {
+	m.dev.WriteNT(ctx, buf, m.off(i))
+	b.FenceAll(ctx, m.dev)
+	m.dev.Store8(ctx, m.off(i)+entCksum, 7)
+}
+
+// goodLoopAppend re-targets the same WriteNT call site each iteration: the
+// offset expression re-evaluates, so the loop-back edge is not a dependent
+// pair.
+func (m *metaLog) goodLoopAppend(ctx *sim.Ctx, buf []byte, n int) {
+	for i := 0; i < n; i++ {
+		m.dev.WriteNT(ctx, buf, m.off(i))
+	}
+	m.dev.Fence(ctx)
+}
+
+// goodUnrelated touches two different families with no barrier: not a
+// dependent pair.
+func (m *metaLog) goodUnrelated(ctx *sim.Ctx, buf []byte, i int, hw int64) {
+	m.dev.WriteNT(ctx, buf, m.off(i))
+	m.dev.Store8(ctx, hw+entCksum, 7)
+}

@@ -1,0 +1,14 @@
+// Package b exports a barrier helper so package a can prove that a persist
+// barrier on the far side of a package boundary still separates dependent
+// stores (the callee's BarrierNTAll fact).
+package b
+
+import (
+	"nvm"
+	"sim"
+)
+
+// FenceAll drains prior non-temporal stores on every path.
+func FenceAll(ctx *sim.Ctx, dev *nvm.Device) {
+	dev.Fence(ctx)
+}

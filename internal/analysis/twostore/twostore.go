@@ -1,0 +1,222 @@
+// Package twostore defines an analyzer for dependent persistent stores —
+// the PR-8 retire discipline generalized (DESIGN.md §15). When two stores
+// address fields of the same persistent record ("offset family": the store
+// offsets share a base expression, differing only in a field addend), their
+// order is load-bearing and must be enforced by a persist barrier:
+//
+//   - A non-temporal WriteNT followed by another persistent store
+//     (WriteNT/Store8/CAS8) to the same family with no Fence/Persist
+//     between them can persist in either order — the dependent pair tears.
+//     Store8/CAS8 carry their own trailing fence, so only WriteNT opens
+//     this window.
+//   - The retire shape: zeroing a record's length field while its checksum
+//     field is still valid leaves a checksum-valid corpse a torn re-commit
+//     can resurrect (meta.go retire's rationale). A Store8 of constant 0 to
+//     a "len"/"length" offset that is reachable before the same family's
+//     Store8 of 0 to its "cksum"/"checksum" offset is reported; kill the
+//     checksum first.
+//
+// Barriers are classified interprocedurally via the summary engine (a
+// callee whose every path fences counts). Suppress with //mgsp:two-store-ok
+// <justification>.
+package twostore
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"mgsp/internal/analysis/cfgscan"
+	"mgsp/internal/analysis/mgspmatch"
+	"mgsp/internal/analysis/summary"
+	"mgsp/internal/analysis/vetreport"
+)
+
+const doc = `check that dependent persistent stores are separated by a persist barrier
+
+Stores addressing the same offset family (base+fieldOffset) are dependent:
+a WriteNT followed by another persistent store to the family needs a Fence
+between them, and a record's length field must never be zeroed while its
+checksum field is still valid (the retire shape). Suppress with
+//mgsp:two-store-ok <justification>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "twostore",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer, summary.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*mgspmatch.Directives)(nil)),
+}
+
+// store is one persistent-store call with its offset identity.
+type store struct {
+	call   *ast.CallExpr
+	method string // WriteNT, Store8, CAS8
+	family string
+	full   string
+	zero   bool // stores a constant-zero value (Store8 only)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := mgspmatch.ParseDirectives(pass.Fset, pass.Files)
+	if mgspmatch.PkgPathIs(pass.Pkg.Path(), "nvm") {
+		return dirs, nil
+	}
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
+
+	// storeOf classifies a call as a persistent store and extracts its
+	// offset family. Offset argument positions: Store8(ctx, off, v),
+	// CAS8(ctx, off, old, new), WriteNT(ctx, p, off).
+	storeOf := func(c *ast.CallExpr) (store, bool) {
+		m := mgspmatch.DeviceMethod(pass.TypesInfo, c)
+		var offArg ast.Expr
+		switch m {
+		case "Store8", "CAS8":
+			if len(c.Args) < 3 {
+				return store{}, false
+			}
+			offArg = c.Args[1]
+		case "WriteNT":
+			if len(c.Args) < 3 {
+				return store{}, false
+			}
+			offArg = c.Args[2]
+		default:
+			return store{}, false
+		}
+		fam, full := mgspmatch.FamilyKey(offArg)
+		if fam == "" || fam == "?" {
+			return store{}, false
+		}
+		s := store{call: c, method: m, family: fam, full: full}
+		if m == "Store8" {
+			if tv, ok := pass.TypesInfo.Types[c.Args[2]]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+					s.zero = true
+				}
+			}
+		}
+		return s, true
+	}
+
+	lower := strings.ToLower
+	isCksum := func(s store) bool {
+		l := lower(s.full)
+		return strings.Contains(l, "cksum") || strings.Contains(l, "checksum") || strings.Contains(l, "crc")
+	}
+	isLen := func(s store) bool {
+		return !isCksum(s) && strings.Contains(lower(s.full), "len")
+	}
+
+	check := func(g *cfg.CFG) {
+		if g == nil {
+			return
+		}
+		var stores []store
+		byCall := make(map[*ast.CallExpr]store)
+		for _, b := range g.Blocks {
+			for _, c := range cfgscan.Calls(b) {
+				if s, ok := storeOf(c); ok {
+					stores = append(stores, s)
+					byCall[c] = s
+				}
+			}
+		}
+		if len(stores) == 0 {
+			return
+		}
+
+		// Rule 1: WriteNT followed by a same-family persistent store with
+		// no intervening NT barrier.
+		for _, s := range stores {
+			if s.method != "WriteNT" {
+				continue
+			}
+			p, ok := cfgscan.FindCall(g, s.call)
+			if !ok {
+				continue
+			}
+			fam, src := s.family, s.call
+			hit := cfgscan.ReachableAfter(g, p, func(c *ast.CallExpr) cfgscan.Class {
+				if sum.BarrierFor(c, "WriteNT") {
+					return cfgscan.Stop
+				}
+				if c == src {
+					// The same call site reached around a loop writes a new
+					// record (the offset expression re-evaluates), not a
+					// dependent field of the previous one.
+					return cfgscan.Continue
+				}
+				if t, ok := byCall[c]; ok && t.family == fam {
+					return cfgscan.Hit
+				}
+				return cfgscan.Continue
+			})
+			if hit != nil {
+				t := byCall[hit]
+				msg := fmt.Sprintf("dependent persistent stores to %s (WriteNT at %s, then %s at %s) have no persist barrier between them: non-temporal stores can persist out of order; add a Fence",
+					fam, s.full, t.method, t.full)
+				suppressed := dirs.Suppress(s.call.Pos(), mgspmatch.TwoStoreOK)
+				vetreport.Report(pass, sum.ReportPath, s.call.Pos(), msg, suppressed)
+			}
+		}
+
+		// Rule 2 (retire shape): a length kill reachable before the same
+		// family's checksum kill. Only judged when the function performs
+		// both kills for the family — a lone length kill may be paired
+		// with a checksum kill in its caller, which this pass cannot see.
+		famHasCksumKill := make(map[string]bool)
+		for _, s := range stores {
+			if s.zero && isCksum(s) {
+				famHasCksumKill[s.family] = true
+			}
+		}
+		reported := make(map[*ast.CallExpr]bool)
+		for fam := range famHasCksumKill {
+			fam := fam
+			hit := cfgscan.ReachableFromEntry(g, func(c *ast.CallExpr) cfgscan.Class {
+				s, ok := byCall[c]
+				if !ok || s.family != fam || !s.zero {
+					return cfgscan.Continue
+				}
+				if isCksum(s) {
+					return cfgscan.Stop
+				}
+				if isLen(s) {
+					return cfgscan.Hit
+				}
+				return cfgscan.Continue
+			})
+			if hit != nil && !reported[hit] {
+				reported[hit] = true
+				s := byCall[hit]
+				msg := fmt.Sprintf("length field %s zeroed while the record's checksum field is still valid: a torn re-commit of the slot can resurrect the retired entry; kill the checksum (same family %s) first",
+					s.full, fam)
+				suppressed := dirs.Suppress(hit.Pos(), mgspmatch.TwoStoreOK)
+				vetreport.Report(pass, sum.ReportPath, hit.Pos(), msg, suppressed)
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					check(cfgs.FuncDecl(n))
+				}
+			case *ast.FuncLit:
+				check(cfgs.FuncLit(n))
+			}
+			return true
+		})
+	}
+	return dirs, nil
+}

@@ -1,0 +1,12 @@
+package twostore_test
+
+import (
+	"testing"
+
+	"mgsp/internal/analysis/analysistest"
+	"mgsp/internal/analysis/twostore"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), twostore.Analyzer, "a")
+}

@@ -1,0 +1,57 @@
+// Package vetreport is the machine-readable findings sink for the mgspvet
+// analyzers. When `make vet-report` passes -mgspsummary.report=<path>, every
+// analyzer appends each finding — including ones suppressed by an //mgsp:
+// annotation — as one JSON line; scripts/vetreport merges, dedupes, and
+// sorts the lines into the CI artifact. Appends are single O_APPEND writes
+// of one line, so concurrent per-package vet actions interleave cleanly.
+package vetreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Finding is one diagnostic occurrence.
+type Finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// Emit appends f to the JSONL report at path; a best-effort sink, it is a
+// no-op when path is empty and silent on write errors (the report is an
+// artifact, never a gate).
+func Emit(path string, f Finding) {
+	if path == "" {
+		return
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	fd, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer fd.Close()
+	fmt.Fprintf(fd, "%s\n", b)
+}
+
+// Report routes one finding: always to the JSONL report (when enabled), and
+// to pass.Report unless suppressed.
+func Report(pass *analysis.Pass, path string, pos token.Pos, msg string, suppressed bool) {
+	p := pass.Fset.Position(pos)
+	Emit(path, Finding{
+		File: p.Filename, Line: p.Line,
+		Analyzer: pass.Analyzer.Name, Message: msg, Suppressed: suppressed,
+	})
+	if !suppressed {
+		pass.Report(analysis.Diagnostic{Pos: pos, Message: msg})
+	}
+}

@@ -48,7 +48,7 @@ const optimisticRetries = 3
 // ver is the seqlock: odd while a mutation is in progress, bumped to a new
 // even value when it publishes. slot is -1 while the frame is empty.
 type frame struct {
-	ver   atomic.Uint64
+	ver   atomic.Uint64 //mgsp:seqlock
 	slot  atomic.Int64
 	block atomic.Int64
 	data  atomic.Pointer[[]byte]
@@ -123,6 +123,37 @@ func (p *Pool) setFor(slot int, block int64) *set {
 // when the frame is truly absent). Returns false only on a true miss.
 func (p *Pool) Read(slot int, block int64, dst []byte, off int) bool {
 	s := p.setFor(slot, block)
+	hit, retries, escalate := readOptimistic(s, slot, block, dst, off)
+	if retries > 0 {
+		p.readRetry.Add(retries)
+	}
+	if escalate {
+		// Optimistic attempts kept colliding with patches: take the latch once.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if f := s.find(slot, block); f != nil {
+			copy(dst, (*f.data.Load())[off:off+len(dst)])
+			f.ref.Store(true)
+			p.hits.Add(1)
+			return true
+		}
+		p.misses.Add(1)
+		return false
+	}
+	if hit {
+		p.hits.Add(1)
+		return true
+	}
+	p.misses.Add(1)
+	return false
+}
+
+// readOptimistic runs the latch-free attempts over the set. Its seqlock read
+// sections are pure copies — all metric accounting is returned to the caller,
+// because an effect inside an unvalidated section cannot be rolled back when
+// the validation fails. escalate reports that every attempt conflicted and
+// the caller must retry under the set latch.
+func readOptimistic(s *set, slot int, block int64, dst []byte, off int) (hit bool, retries int64, escalate bool) {
 	for attempt := 0; attempt < optimisticRetries; attempt++ {
 		conflict := false
 		for w := range s.frames {
@@ -133,37 +164,34 @@ func (p *Pool) Read(slot int, block int64, dst []byte, off int) bool {
 				continue
 			}
 			if f.slot.Load() != int64(slot) || f.block.Load() != block {
+				// Re-validate before ruling the frame out: if it mutated under
+				// us the identity snapshot is stale, and "absent" must not be
+				// concluded from it (write-back: a miss falls through to media).
+				if f.ver.Load() != v1 {
+					conflict = true
+				}
 				continue
 			}
 			data := f.data.Load()
 			if data == nil {
+				if f.ver.Load() != v1 {
+					conflict = true
+				}
 				continue
 			}
 			copy(dst, (*data)[off:off+len(dst)])
 			if f.ver.Load() == v1 {
 				f.ref.Store(true)
-				p.hits.Add(1)
-				return true
+				return true, retries, false
 			}
 			conflict = true
 		}
 		if !conflict {
-			p.misses.Add(1)
-			return false
+			return false, retries, false
 		}
-		p.readRetry.Add(1)
+		retries++
 	}
-	// Optimistic attempts kept colliding with patches: take the latch once.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f := s.find(slot, block); f != nil {
-		copy(dst, (*f.data.Load())[off:off+len(dst)])
-		f.ref.Store(true)
-		p.hits.Add(1)
-		return true
-	}
-	p.misses.Add(1)
-	return false
+	return false, retries, true
 }
 
 // find locates the frame for (slot, block) in s. Callers hold s.mu.

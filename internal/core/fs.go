@@ -589,6 +589,10 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 		}
 		if blockEnd > size {
 			f.pf.DirectWrite(ctx, make([]byte, blockEnd-size), size)
+			// The zeros must be durable before the size word below commits
+			// the shrink: a crash between the two would otherwise recover the
+			// new size over stale tail bytes that a later growth re-exposes.
+			f.pf.Fence(ctx)
 		}
 		f.pf.MarkUnwritten((size + LeafSpan - 1) / LeafSpan)
 	}

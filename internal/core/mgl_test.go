@@ -195,6 +195,12 @@ func TestConcurrentMixedGranularity(t *testing.T) {
 //   - LockLazy(want) grants when compatible, refuses (without blocking)
 //     when only intention holders conflict, and blocks until release when a
 //     real R/W holder conflicts.
+//
+// The local lock `l` is an mglLock driven with two distinct holder contexts;
+// its intra-class nesting is the multi-holder semantics under test, so the
+// class is declared self-ordered for the lockorder pass:
+//
+//mgsp:lock-order-self l
 func TestMGLLockMatrix(t *testing.T) {
 	modes := []lockMode{lockIR, lockIW, lockR, lockW}
 	for _, held := range modes {

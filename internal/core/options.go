@@ -15,6 +15,21 @@
 //
 // The package implements vfs.FS/vfs.File so the FIO and SQLite workloads can
 // drive it interchangeably with the baselines, plus Mount for crash recovery.
+//
+// The locking discipline below is declared for the lockorder vet pass
+// (cmd/mgspvet, DESIGN.md §15), which checks every blocking acquisition in
+// this package and its importers against it interprocedurally:
+//
+//mgsp:lock-order FS.snapAdmin < FS.mu < file.sizeMu
+//mgsp:lock-order FS.mu < file.snapMu
+//mgsp:lock-order file.flushMu < file.treeMu < file.snapMu
+//mgsp:lock-order file.flushMu < file.sizeMu
+//mgsp:lock-order file.flock < file.sizeMu
+//
+// node.lock self-nests by protocol: lockOp and lockCoarse always descend the
+// radix tree parent-before-child, so intra-class nesting cannot cycle.
+//
+//mgsp:lock-order-self node.lock
 package core
 
 import "fmt"

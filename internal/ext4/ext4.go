@@ -285,6 +285,9 @@ func (ino *inode) truncateLocked(ctx *sim.Ctx, size int64) {
 		pages := (size + pageSize - 1) / pageSize
 		if err := ino.ensureAllocated(ctx, pages); err == nil {
 			ino.zeroRange(ctx, ino.size, size)
+			// Zeros durable before whatever commit the caller issues next
+			// records the new size.
+			ino.fs.dev.Fence(ctx)
 		}
 	}
 	ino.size = size

@@ -318,6 +318,10 @@ func (h *handle) Truncate(ctx *sim.Ctx, size int64) error {
 					return err
 				}
 				f.pf.DirectWrite(ctx, make([]byte, end-size), size)
+				// Zeros durable before the size word commits the shrink:
+				// otherwise a crash recovers the new size over stale tail
+				// bytes that a later extension re-exposes.
+				f.pf.Fence(ctx)
 			}
 		}
 		f.pf.MarkUnwritten((size + blockSize - 1) / blockSize)
@@ -475,6 +479,9 @@ func (f *file) mergeIntoLog(ctx *sim.Ctx, bl *blockLog, p []byte, off, u0, u1 in
 	}
 	copy(buf[writeLo-lo:], p)
 	f.fs.dev.WriteNT(ctx, buf, bl.logOff+lo)
+	// The log units must be durable before the caller's mask/epoch store
+	// marks them valid — recovery replays any unit the mask covers.
+	f.fs.dev.Fence(ctx)
 }
 
 // copyUnits copies masked units between the file block and the log block.
@@ -504,6 +511,10 @@ func (f *file) copyUnits(ctx *sim.Ctx, mask uint64, pf *pmfile.File, blockStart,
 		}
 		u = run
 	}
+	// Copied units durable before the caller commits: the undo save must be
+	// on media before the mask claims it, and a checkpoint apply must be on
+	// media before the mask clear discards the log it came from.
+	f.fs.dev.Fence(ctx)
 }
 
 func (f *file) markDirty(ctx *sim.Ctx, bl *blockLog) {

@@ -337,6 +337,10 @@ func (ino *inode) truncateLocked(ctx *sim.Ctx, size int64) error {
 		if blk, ok := ino.pages[size/pageSize]; ok {
 			zero := make([]byte, pageSize-in)
 			ino.fs.dev.WriteNT(ctx, zero, blk+in)
+			// Drain the zeroing before returning: the SetLen entry above is
+			// already committed, and a caller's next commit must not be able
+			// to persist ahead of these zeros.
+			ino.fs.dev.Fence(ctx)
 		}
 	}
 	return nil
@@ -431,20 +435,23 @@ func (h *handle) WriteAt(ctx *sim.Ctx, p []byte, off int64) (int, error) {
 		}
 		fullCover := lo == pgStart && hi == pgStart+pageSize
 		dst := blocks + i*pageSize
-		if fullCover {
-			fs.dev.WriteNT(ctx, p[lo-off:hi-off], dst)
-			continue
+		out := p[lo-off : hi-off]
+		if !fullCover {
+			// Read-modify-copy: old page (or zeros), patched with new bytes,
+			// written out whole — NOVA's sub-page write amplification.
+			if old, ok := ino.pages[pg]; ok {
+				fs.dev.Read(ctx, pagebuf[:], old)
+			} else {
+				pagebuf = [pageSize]byte{}
+			}
+			copy(pagebuf[lo-pgStart:], out)
+			out = pagebuf[:]
 		}
-		// Read-modify-copy: old page (or zeros), patched with new bytes,
-		// written out whole — NOVA's sub-page write amplification.
-		if old, ok := ino.pages[pg]; ok {
-			fs.dev.Read(ctx, pagebuf[:], old)
-		} else {
-			pagebuf = [pageSize]byte{}
-		}
-		copy(pagebuf[lo-pgStart:], p[lo-off:hi-off])
-		fs.dev.WriteNT(ctx, pagebuf[:], dst)
+		fs.dev.WriteNT(ctx, out, dst)
 	}
+	// CoW pages durable before the log entry referencing them commits: a
+	// crash after the tail publish must replay onto fully-written pages.
+	fs.dev.Fence(ctx)
 
 	newSize := ino.size
 	if end > newSize {

@@ -89,6 +89,7 @@ func TestSetSizePersists(t *testing.T) {
 	f, _ := p.Create(ctx, "f")
 	f.EnsureCapacity(ctx, 1<<20)
 	f.DirectWrite(ctx, []byte("hello"), 0)
+	f.Fence(ctx) // data durable before the size word publishes it
 	f.SetSize(ctx, 5)
 
 	p.Device().DropVolatile()
@@ -238,6 +239,7 @@ func TestCreateTruncatesExisting(t *testing.T) {
 	f, _ := p.Create(ctx, "f")
 	f.EnsureCapacity(ctx, 1<<20)
 	f.DirectWrite(ctx, []byte("old"), 0)
+	f.Fence(ctx) // data durable before the size word publishes it
 	f.SetSize(ctx, 3)
 
 	f2, err := p.Create(ctx, "f")

@@ -1,0 +1,144 @@
+// Command vetreport turns the raw JSONL findings stream written by
+// mgspvet's -mgspsummary.report sink into the stable CI artifact.
+//
+// `go vet` runs one analysis action per package and test variant, all
+// appending to the same file, so the raw stream interleaves, repeats
+// findings (a _test variant re-analyzes the library sources), and orders
+// nondeterministically. This tool merges: dedupe on the full
+// (file, line, analyzer, message, suppressed) tuple, sort by file, line,
+// analyzer, message, and rewrite as JSONL — byte-identical across runs of
+// an unchanged tree, so CI can diff artifacts.
+//
+// Usage:
+//
+//	vetreport -in raw.jsonl -out VET_REPORT.jsonl
+//
+// With -out omitted the merged stream goes to stdout. A missing or empty
+// input produces an empty artifact and exit 0: no findings is the normal
+// green-tree case, not an error. Malformed lines (a vet action killed
+// mid-append) are counted on stderr and skipped, never fatal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mgsp/internal/analysis/vetreport"
+)
+
+func main() {
+	in := flag.String("in", "", "raw JSONL findings stream (default stdin)")
+	out := flag.String("out", "", "merged artifact path (default stdout)")
+	trim := flag.String("trim", defaultTrim(), "path prefix to strip from finding files (default the working directory), keeping the artifact checkout-relative")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A clean tree writes no findings at all.
+				writeOut(*out, nil)
+				return
+			}
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	findings, bad := merge(r, *trim)
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "vetreport: skipped %d malformed line(s)\n", bad)
+	}
+	writeOut(*out, findings)
+}
+
+func defaultTrim() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	return wd
+}
+
+// merge reads JSONL findings, makes paths trim-relative, deduplicates exact
+// repeats, and returns them deterministically sorted plus the count of
+// unparseable lines. Trimming precedes the sort so the artifact's order does
+// not depend on where the checkout lives.
+func merge(r io.Reader, trim string) ([]vetreport.Finding, int) {
+	seen := make(map[vetreport.Finding]bool)
+	bad := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f vetreport.Finding
+		if err := json.Unmarshal(line, &f); err != nil {
+			bad++
+			continue
+		}
+		if trim != "" {
+			f.File = strings.TrimPrefix(f.File, strings.TrimSuffix(trim, "/")+"/")
+		}
+		seen[f] = true
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	out := make([]vetreport.Finding, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return !a.Suppressed && b.Suppressed
+	})
+	return out, bad
+}
+
+func writeOut(path string, findings []vetreport.Finding) {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	for _, f := range findings {
+		if err := enc.Encode(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vetreport:", err)
+	os.Exit(1)
+}
